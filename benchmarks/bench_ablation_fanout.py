@@ -1,0 +1,107 @@
+"""Ablation — PDT fan-out sensitivity.
+
+The paper picks F=8 so leaves span two CPU cache lines (section 3.1). That
+argument does not transfer to Python objects, so this ablation measures
+how fan-out actually trades off here: update cost (deeper trees vs wider
+in-leaf shifts) and full-iteration cost, at a fixed entry count.
+
+Run: ``pytest benchmarks/bench_ablation_fanout.py --benchmark-only``
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+import pytest
+
+from repro.bench import Report, scaled
+from repro.core.pdt import PDT
+from repro.workloads import micro_schema
+
+FANOUTS = [4, 8, 16, 32, 64]
+SIZE = scaled(50_000)
+BATCH = 400
+
+_report = Report(
+    "Ablation: PDT fan-out (insert us/op and full-iteration ms at "
+    f"{SIZE} entries)",
+    ["fanout", "depth", "insert_us_per_op", "iterate_ms"],
+)
+_rows_tmp = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    if _report.rows:
+        _report.print()
+        _report.save("ablation_fanout")
+
+
+def _grow(fanout: int):
+    schema = micro_schema(1, "int", 2)
+    pdt = PDT(schema, fanout=fanout)
+    keys = [i * 2 for i in range(SIZE)]
+    rng = random.Random(7)
+    next_fresh = SIZE * 2 + 1
+    while pdt.count() < SIZE:
+        key = rng.randrange(next_fresh) * 2 + 1
+        rid = bisect.bisect_left(keys, key)
+        if rid < len(keys) and keys[rid] == key:
+            key = next_fresh
+            next_fresh += 2
+            rid = bisect.bisect_left(keys, key)
+        keys.insert(rid, key)
+        pdt.add_insert(pdt.sk_rid_to_sid((key,), rid), rid, [key, 0, 0])
+    return pdt, keys, rng
+
+
+@pytest.fixture(scope="module")
+def grown():
+    return {fanout: _grow(fanout) for fanout in FANOUTS}
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_fanout_insert(benchmark, grown, fanout):
+    pdt, keys, rng = grown[fanout]
+
+    def setup():
+        batch = []
+        next_fresh = (keys[-1] if keys else 0) + 1
+        for _ in range(BATCH):
+            key = next_fresh
+            next_fresh += 2
+            rid = len(keys)
+            keys.append(key)
+            batch.append(((key,), rid, [key, 0, 0]))
+        return (batch,), {}
+
+    def run(batch):
+        for sk, rid, row in batch:
+            pdt.add_insert(pdt.sk_rid_to_sid(sk, rid), rid, row)
+
+    benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
+    _rows_tmp.setdefault(fanout, {})["insert"] = (
+        benchmark.stats["mean"] / BATCH * 1e6
+    )
+    _rows_tmp[fanout]["depth"] = pdt.depth()
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+def test_fanout_iterate(benchmark, grown, fanout):
+    pdt, _, _ = grown[fanout]
+
+    def run():
+        n = 0
+        for _ in pdt.iter_entries():
+            n += 1
+        return n
+
+    count = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert count == pdt.count()
+    cell = _rows_tmp.setdefault(fanout, {})
+    cell["iterate"] = benchmark.stats["mean"] * 1000
+    if "insert" in cell:
+        _report.add(fanout, cell.get("depth", pdt.depth()),
+                    cell["insert"], cell["iterate"])

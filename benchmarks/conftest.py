@@ -1,0 +1,17 @@
+"""Benchmark-suite configuration."""
+
+import pytest
+
+
+def pytest_configure(config):
+    # The figure benchmarks print Report tables; keep them visible.
+    config.option.verbose = max(config.option.verbose, 0)
+
+
+@pytest.fixture(scope="session")
+def print_reports():
+    """Reports registered here are printed once the session ends."""
+    reports = []
+    yield reports
+    for report in reports:
+        report.print()

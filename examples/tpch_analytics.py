@@ -1,0 +1,79 @@
+"""TPC-H analytics under an update load: no-updates vs VDT vs PDT.
+
+A miniature of the paper's Figure 19 experiment: generate TPC-H, apply the
+refresh streams (scattered inserts+deletes on orders/lineitem), then run a
+few queries in all three modes, comparing wall time and simulated I/O.
+
+Run: ``python examples/tpch_analytics.py [scale]`` (default scale 0.005)
+"""
+
+import sys
+import time
+
+from repro.tpch import (
+    CleanSource,
+    PdtSource,
+    RefreshApplier,
+    VdtSource,
+    generate,
+    load_database,
+    run_query,
+)
+
+QUERIES = (1, 3, 6, 12, 14)
+
+
+def main(scale: float = 0.005) -> None:
+    print(f"generating TPC-H at SF={scale} ...")
+    data = generate(scale=scale)
+    db = load_database(data, compressed=False)
+    print(
+        f"  lineitem: {data.row_count('lineitem'):,} rows, "
+        f"orders: {data.row_count('orders'):,} rows"
+    )
+
+    applier = RefreshApplier(data)
+    applier.apply_all_pdt(db)
+    vdts = applier.make_vdts()
+    applier.apply_all_vdt(vdts)
+    n_updates = sum(
+        len(p.new_orders) + len(p.new_lineitems) + len(p.delete_orderkeys)
+        for p in data.refreshes
+    )
+    print(f"  applied {n_updates} scattered updates "
+          f"(2 refresh pairs, ~0.1% of orders each)\n")
+
+    sources = {
+        "no-updates": CleanSource(db),
+        "VDT": VdtSource(db, vdts),
+        "PDT": PdtSource(db),
+    }
+
+    header = f"{'query':>6} | " + " | ".join(
+        f"{m:>18}" for m in sources
+    )
+    print(header)
+    print("-" * len(header))
+    for number in QUERIES:
+        cells = []
+        for mode, src in sources.items():
+            db.make_cold()
+            db.io.reset()
+            start = time.perf_counter()
+            run_query(number, src)
+            elapsed = (time.perf_counter() - start) * 1000
+            mib = db.io.bytes_read / (1 << 20)
+            cells.append(f"{elapsed:7.1f}ms {mib:6.2f}MiB")
+        print(f"   Q{number:02d} | " + " | ".join(
+            f"{c:>18}" for c in cells
+        ))
+
+    print(
+        "\nNote how the PDT column reads the same volume as no-updates —\n"
+        "positional merging never needs the sort-key columns — while the\n"
+        "VDT run must scan them for every query."
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.005)

@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` in offline environments
+where the `wheel` package (needed by PEP 517 editable installs) is absent."""
+
+from setuptools import setup
+
+setup()

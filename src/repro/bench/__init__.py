@@ -1,0 +1,5 @@
+"""Benchmark harness utilities shared by the figure benchmarks."""
+
+from .harness import Report, consume, scale, scaled, time_once, tpch_sf
+
+__all__ = ["Report", "consume", "scale", "scaled", "time_once", "tpch_sf"]

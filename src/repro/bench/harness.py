@@ -1,0 +1,93 @@
+"""Shared benchmark plumbing: scaling knobs, one-shot timing, reports.
+
+Benchmark sizes follow the paper's experiments scaled to laptop-Python
+budgets; set ``REPRO_SCALE`` (a float multiplier, default 1.0) to grow or
+shrink every series, and ``REPRO_TPCH_SF`` to change the TPC-H scale
+factor (default 0.01). Results printed here are the same series the
+paper's figures plot; EXPERIMENTS.md records a reference run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+
+def scale() -> float:
+    """Global benchmark size multiplier from ``REPRO_SCALE``."""
+    return float(os.environ.get("REPRO_SCALE", "1.0"))
+
+
+def scaled(n: int, minimum: int = 1) -> int:
+    return max(int(n * scale()), minimum)
+
+
+def tpch_sf() -> float:
+    return float(os.environ.get("REPRO_TPCH_SF", "0.01"))
+
+
+def time_once(fn) -> float:
+    """Wall-clock one call (for report-style, non-statistical measures)."""
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def consume(batches) -> int:
+    """Drain a batch stream; returns rows seen (keeps work honest)."""
+    total = 0
+    for _, arrays in batches:
+        first = next(iter(arrays.values()))
+        total += len(first)
+    return total
+
+
+class Report:
+    """Collects labelled rows and prints an aligned table at the end."""
+
+    def __init__(self, title: str, columns: list[str]):
+        self.title = title
+        self.columns = columns
+        self.rows: list[list] = []
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError("report row arity mismatch")
+        self.rows.append(list(values))
+
+    def render(self) -> str:
+        def fmt(v):
+            if isinstance(v, float):
+                return f"{v:.4f}"
+            return str(v)
+
+        table = [self.columns] + [[fmt(v) for v in r] for r in self.rows]
+        widths = [
+            max(len(row[i]) for row in table) for i in range(len(self.columns))
+        ]
+        lines = [f"== {self.title} =="]
+        for i, row in enumerate(table):
+            lines.append(
+                "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+            )
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print("\n" + self.render())
+
+    def save(self, name: str) -> Path:
+        """Persist rows as JSON under benchmarks/results/."""
+        out_dir = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+        out_dir.mkdir(parents=True, exist_ok=True)
+        path = out_dir / f"{name}.json"
+        payload = {
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+        }
+        path.write_text(json.dumps(payload, indent=2, default=str))
+        return path

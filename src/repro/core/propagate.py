@@ -1,0 +1,38 @@
+"""Propagate: fold a higher-layer PDT into the layer below (Algorithm 7).
+
+``propagate(read, write)`` applies every update of ``write`` — which must
+be *consecutive* to ``read`` (paper Definition 2: write's SID domain is
+read's RID domain) — into ``read``, in left-to-right entry order. Because
+entries are applied in order, read's RID domain evolves to match write's as
+we go, so each entry's RID can be used directly. Inserts additionally need
+their exact SID with respect to read's ghost tuples, recovered from sort
+keys via ``sk_rid_to_sid`` (Algorithm 6).
+
+Used when the Write-PDT outgrows its budget (migrate to the Read-PDT) and
+at commit (migrate a serialized Trans-PDT into the Write-PDT).
+"""
+
+from __future__ import annotations
+
+
+def propagate(read_pdt, write_pdt) -> None:
+    """Apply all of ``write_pdt``'s updates into ``read_pdt`` (in place)."""
+    if read_pdt.schema is not write_pdt.schema and (
+        read_pdt.schema != write_pdt.schema
+    ):
+        raise ValueError("propagate requires identical schemas")
+    schema = write_pdt.schema
+    for entry in write_pdt.iter_entries():
+        rid = entry.rid
+        if entry.is_insert:
+            row = list(write_pdt.values.get_insert(entry.ref))
+            sid = read_pdt.sk_rid_to_sid(schema.sk_of(row), rid)
+            read_pdt.add_insert(sid, rid, row)
+        elif entry.is_delete:
+            read_pdt.add_delete(rid, write_pdt.values.get_delete(entry.ref))
+        else:
+            read_pdt.add_modify(
+                rid,
+                entry.kind,
+                write_pdt.values.get_modify(entry.kind, entry.ref),
+            )

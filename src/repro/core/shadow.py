@@ -1,0 +1,150 @@
+"""Ground-truth row-store model of an updatable ordered table.
+
+:class:`ShadowTable` maintains the *current table image* the naive way — a
+Python list of slots updated in place — including ghost slots for deleted
+stable tuples, exactly mirroring the paper's SID/ghost semantics (section
+2, "RID vs. SID"). It is deliberately simple (O(n) per operation) and
+serves as the oracle that every PDT implementation and MergeScan variant is
+property-tested against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..storage.schema import Schema
+
+
+@dataclass
+class _Slot:
+    """One physical slot: a live row, or a ghost left by a deletion."""
+
+    sid: int
+    row: list | None  # None = ghost
+    sk: tuple  # sort key (kept for ghosts)
+    stable: bool  # part of TABLE0 (ghosts always are)
+
+    @property
+    def is_ghost(self) -> bool:
+        return self.row is None
+
+
+class ShadowTable:
+    """Oracle for positional update semantics over an ordered table."""
+
+    def __init__(self, schema: Schema, stable_rows):
+        self.schema = schema
+        self.stable_count = 0
+        self.slots: list[_Slot] = []
+        for row in stable_rows:
+            row = list(row)
+            self.slots.append(
+                _Slot(self.stable_count, row, schema.sk_of(row), stable=True)
+            )
+            self.stable_count += 1
+
+    # -- views ---------------------------------------------------------------
+
+    def rows(self) -> list[tuple]:
+        """Live rows in order — the expected MergeScan output."""
+        return [tuple(s.row) for s in self.slots if not s.is_ghost]
+
+    def live_count(self) -> int:
+        return sum(1 for s in self.slots if not s.is_ghost)
+
+    def row_at(self, rid: int) -> tuple:
+        return tuple(self.slots[self._slot_of_rid(rid)].row)
+
+    def sids(self) -> list[int]:
+        """SIDs of live rows in order (tests PDT SID assignment)."""
+        return [s.sid for s in self.slots if not s.is_ghost]
+
+    # -- update operations (by live RID) --------------------------------------
+
+    def insert(self, rid: int, row) -> None:
+        """Insert ``row`` so it becomes the live tuple at position ``rid``.
+
+        The new slot is placed among any ghost slots at the boundary
+        according to sort-key order (ghost-respecting insert semantics).
+        """
+        row = list(self.schema.coerce_row(row))
+        sk = self.schema.sk_of(row)
+        idx = self._insertion_slot(rid, sk)
+        sid = self.slots[idx].sid if idx < len(self.slots) else self.stable_count
+        self.slots.insert(idx, _Slot(sid, row, sk, stable=False))
+
+    def delete(self, rid: int) -> None:
+        """Delete the live tuple at ``rid``; stable tuples become ghosts."""
+        idx = self._slot_of_rid(rid)
+        slot = self.slots[idx]
+        if slot.stable:
+            slot.row = None  # becomes a ghost, keeps sid and sk
+        else:
+            del self.slots[idx]
+
+    def modify(self, rid: int, col_no: int, value) -> None:
+        """Modify one non-sort-key attribute of the live tuple at ``rid``."""
+        name = self.schema.columns[col_no].name
+        if self.schema.is_sk_column(name):
+            raise ValueError(
+                "sort-key modifies must be decomposed into delete+insert"
+            )
+        idx = self._slot_of_rid(rid)
+        self.slots[idx].row[col_no] = value
+
+    # -- helpers for generating valid operations ------------------------------
+
+    def insert_position(self, sk: tuple) -> int:
+        """Live RID where a tuple with sort key ``sk`` belongs."""
+        rid = 0
+        for slot in self.slots:
+            if slot.is_ghost:
+                continue
+            if slot.sk > tuple(sk):
+                return rid
+            rid += 1
+        return rid
+
+    def live_sks(self) -> list[tuple]:
+        return [s.sk for s in self.slots if not s.is_ghost]
+
+    def contains_sk(self, sk: tuple) -> bool:
+        return tuple(sk) in set(self.live_sks())
+
+    # -- internals -------------------------------------------------------------
+
+    def _slot_of_rid(self, rid: int) -> int:
+        live = -1
+        for idx, slot in enumerate(self.slots):
+            if not slot.is_ghost:
+                live += 1
+                if live == rid:
+                    return idx
+        raise IndexError(f"live rid {rid} out of range (live={live + 1})")
+
+    def _insertion_slot(self, rid: int, sk: tuple) -> int:
+        """Slot index for a new insert that should land at live position
+        ``rid``, placed among boundary ghosts by sort-key comparison."""
+        # Slot index of the live tuple currently at position rid (or end).
+        live = 0
+        boundary = len(self.slots)
+        for idx, slot in enumerate(self.slots):
+            if slot.is_ghost:
+                continue
+            if live == rid:
+                boundary = idx
+                break
+            live += 1
+        # Walk back over the ghost run immediately before the boundary:
+        # the insert goes before every ghost whose key exceeds (or equals)
+        # the new key, so that ghost ordering mirrors SK ordering.
+        idx = boundary
+        while idx > 0 and self.slots[idx - 1].is_ghost:
+            if self.slots[idx - 1].sk > tuple(sk):
+                idx -= 1
+            elif self.slots[idx - 1].sk == tuple(sk):
+                idx -= 1  # re-insert of a deleted key sits before its ghost
+                break
+            else:
+                break
+        return idx

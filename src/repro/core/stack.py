@@ -1,0 +1,67 @@
+"""Stacked differential structures (paper section 2, "Stacking").
+
+A table image at time t is the stable image merged with a bottom-up stack
+of PDT layers (equation (9)): typically Read-PDT, Write-PDT snapshot, and
+Trans-PDT. Each layer's SID domain is the RID domain of the layer below.
+This module composes :class:`~repro.core.merge.BlockMerger` instances over
+a stable scan and validates layer relationships.
+"""
+
+from __future__ import annotations
+
+from .merge import BlockMerger, merge_row_stream
+
+
+def merge_scan_layers(
+    stable,
+    layers,
+    columns=None,
+    start: int = 0,
+    stop: int | None = None,
+    batch_rows: int = 1024,
+):
+    """Block-oriented MergeScan through a stack of PDT layers, bottom-up.
+
+    ``layers`` lists PDTs from the lowest (closest to the stable table,
+    e.g. the Read-PDT) to the highest (e.g. a Trans-PDT). Yields
+    ``(first_rid, {column: ndarray})`` in the topmost layer's RID domain.
+
+    Range scans (``stop`` before the table end) suppress trailing inserts,
+    mirroring how a sparse-index-restricted scan only produces tuples
+    within its SID range.
+    """
+    if columns is None:
+        columns = stable.schema.column_names
+    full = stop is None or stop >= stable.num_rows
+    stream = stable.scan(columns=columns, start=start, stop=stop,
+                         batch_rows=batch_rows)
+    # Each layer's scan start is the previous layer's output position of
+    # the first scanned row: pos_{i+1} = pos_i + delta_before(pos_i).
+    # Empty layers are identity merges and are skipped outright.
+    pos = min(start, stable.num_rows)
+    for pdt in layers:
+        if pdt.is_empty():
+            continue
+        stream = BlockMerger(pdt, columns).merge_batches(
+            stream, drain_tail=full, start_sid=pos
+        )
+        pos = pos + pdt.delta_before_sid(pos)
+    return stream
+
+
+def merge_rows_layers(stable_rows, layers) -> list[tuple]:
+    """Tuple-at-a-time merge through a stack of layers (testing path)."""
+    stream = iter(stable_rows)
+    for pdt in layers:
+        stream = merge_row_stream(stream, pdt)
+    return list(stream)
+
+
+def image_rows(stable, layers) -> list[tuple]:
+    """Materialize the full current table image as Python tuples."""
+    return merge_rows_layers(stable.rows(), layers)
+
+
+def total_delta(layers) -> int:
+    """Net row-count change contributed by a stack of layers."""
+    return sum(layer.total_delta() for layer in layers)

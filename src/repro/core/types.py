@@ -1,0 +1,76 @@
+"""Shared constants and entry records for positional delta structures.
+
+The paper's leaf triplet is ``(SID, type, value)`` where *type* is ``INS``,
+``DEL`` or — for modifications — the column number (section 3.1's C layout
+packs this into 16 bits). We mirror that: an entry *kind* is the integer
+column number for a modify, or one of the negative sentinels below.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Kind sentinel for newly inserted tuples.
+KIND_INS = -1
+#: Kind sentinel for deletions of stable tuples ("ghosts").
+KIND_DEL = -2
+
+
+def is_modify(kind: int) -> bool:
+    """True when ``kind`` denotes a column modification (kind == col_no)."""
+    return kind >= 0
+
+
+def delta_of(kind: int) -> int:
+    """Contribution of an update entry to the running RID−SID delta."""
+    if kind == KIND_INS:
+        return 1
+    if kind == KIND_DEL:
+        return -1
+    return 0
+
+
+def kind_name(kind: int) -> str:
+    if kind == KIND_INS:
+        return "ins"
+    if kind == KIND_DEL:
+        return "del"
+    return f"mod(col={kind})"
+
+
+@dataclass(frozen=True)
+class Entry:
+    """A materialized update entry, used for iteration and testing.
+
+    ``rid`` is the entry's current row position: ``sid`` plus the
+    accumulated delta of all preceding entries (equation (3) of the paper).
+    ``ref`` indexes the value space table selected by ``kind``.
+    """
+
+    sid: int
+    rid: int
+    kind: int
+    ref: int
+
+    @property
+    def is_insert(self) -> bool:
+        return self.kind == KIND_INS
+
+    @property
+    def is_delete(self) -> bool:
+        return self.kind == KIND_DEL
+
+    @property
+    def is_modify(self) -> bool:
+        return self.kind >= 0
+
+    def __repr__(self) -> str:
+        return f"Entry(sid={self.sid}, rid={self.rid}, {kind_name(self.kind)})"
+
+
+class TransactionConflict(Exception):
+    """Write-write conflict detected by Serialize; the transaction aborts."""
+
+
+class PDTError(RuntimeError):
+    """Internal consistency violation in a positional delta structure."""

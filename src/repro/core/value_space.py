@@ -1,0 +1,131 @@
+"""The PDT value space: side tables holding update payloads.
+
+Per equation (7) of the paper, each PDT owns one *insert table* with full
+new tuples, one *delete table* with the sort-key values of deleted stable
+("ghost") tuples, and one single-column *modify table* per table column.
+Leaf entries reference rows of these tables by integer offset.
+
+In-place update rules (paper section 2.1, "Modify") mutate this space:
+modifying an inserted tuple rewrites the insert row; modifying an already
+modified column overwrites the modify slot; deleting an inserted tuple
+frees its insert row.
+"""
+
+from __future__ import annotations
+
+from ..storage.schema import Schema
+from .types import KIND_DEL, KIND_INS, PDTError
+
+
+class ValueSpace:
+    """Payload storage for one PDT."""
+
+    __slots__ = ("schema", "_ins", "_del", "_mods", "_free_ins")
+
+    def __init__(self, schema: Schema):
+        self.schema = schema
+        self._ins: list[list | None] = []
+        self._del: list[tuple] = []
+        self._mods: dict[int, list] = {}
+        self._free_ins = 0
+
+    # -- insert table ------------------------------------------------------
+
+    def add_insert(self, row) -> int:
+        """Store a full new tuple; returns its offset."""
+        values = list(row)
+        if len(values) != len(self.schema):
+            raise PDTError(
+                f"insert arity {len(values)} != schema arity {len(self.schema)}"
+            )
+        self._ins.append(values)
+        return len(self._ins) - 1
+
+    def get_insert(self, ref: int) -> list:
+        row = self._ins[ref]
+        if row is None:
+            raise PDTError(f"insert ref {ref} was freed")
+        return row
+
+    def modify_insert(self, ref: int, col_no: int, value) -> None:
+        self.get_insert(ref)[col_no] = value
+
+    def free_insert(self, ref: int) -> None:
+        if self._ins[ref] is None:
+            raise PDTError(f"double free of insert ref {ref}")
+        self._ins[ref] = None
+        self._free_ins += 1
+
+    def insert_sk(self, ref: int) -> tuple:
+        """Sort key of a stored insert tuple."""
+        return self.schema.sk_of(self.get_insert(ref))
+
+    # -- delete table ------------------------------------------------------
+
+    def add_delete(self, sk_values) -> int:
+        """Store the sort key of a deleted stable tuple; returns its offset."""
+        sk = tuple(sk_values)
+        if len(sk) != len(self.schema.sort_key):
+            raise PDTError(
+                f"delete key arity {len(sk)} != SK arity "
+                f"{len(self.schema.sort_key)}"
+            )
+        self._del.append(sk)
+        return len(self._del) - 1
+
+    def get_delete(self, ref: int) -> tuple:
+        return self._del[ref]
+
+    # -- modify tables -----------------------------------------------------
+
+    def add_modify(self, col_no: int, value) -> int:
+        """Store a modified value for column ``col_no``; returns its offset."""
+        if not 0 <= col_no < len(self.schema):
+            raise PDTError(f"column number {col_no} out of range")
+        table = self._mods.setdefault(col_no, [])
+        table.append(value)
+        return len(table) - 1
+
+    def get_modify(self, col_no: int, ref: int):
+        return self._mods[col_no][ref]
+
+    def set_modify(self, col_no: int, ref: int, value) -> None:
+        self._mods[col_no][ref] = value
+
+    # -- generic access by entry kind ---------------------------------------
+
+    def value_of(self, kind: int, ref: int):
+        """Resolve an entry's payload: row list (INS), SK tuple (DEL), or
+        modified value (MOD)."""
+        if kind == KIND_INS:
+            return self.get_insert(ref)
+        if kind == KIND_DEL:
+            return self.get_delete(ref)
+        return self.get_modify(kind, ref)
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def copy(self) -> "ValueSpace":
+        clone = ValueSpace(self.schema)
+        clone._ins = [None if r is None else list(r) for r in self._ins]
+        clone._del = list(self._del)
+        clone._mods = {c: list(v) for c, v in self._mods.items()}
+        clone._free_ins = self._free_ins
+        return clone
+
+    def clear(self) -> None:
+        self._ins.clear()
+        self._del.clear()
+        self._mods.clear()
+        self._free_ins = 0
+
+    def live_inserts(self) -> int:
+        return len(self._ins) - self._free_ins
+
+    def stats(self) -> dict:
+        return {
+            "inserts": self.live_inserts(),
+            "deletes": len(self._del),
+            "modifies": sum(len(v) for v in self._mods.values()),
+            "freed_inserts": self._free_ins,
+        }

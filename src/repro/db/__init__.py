@@ -1,0 +1,21 @@
+"""Database facade and value-to-positional update translation."""
+
+from .database import Database
+from .replicas import ReplicatedTable
+from .update_processor import (
+    DuplicateKey,
+    KeyNotFound,
+    PositionalUpdater,
+    find_insert_position,
+    find_rid_by_key,
+)
+
+__all__ = [
+    "Database",
+    "DuplicateKey",
+    "KeyNotFound",
+    "PositionalUpdater",
+    "ReplicatedTable",
+    "find_insert_position",
+    "find_rid_by_key",
+]

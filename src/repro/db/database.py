@@ -1,0 +1,200 @@
+"""Database facade: storage + transactions + queries in one object.
+
+This is the public entry point a downstream user starts from::
+
+    db = Database(compressed=True)
+    db.create_table("inventory", schema, rows)
+    with db.transaction() as txn:
+        txn.insert("inventory", ("Berlin", "table", "Y", 10))
+    rel = db.query("inventory", columns=["store", "qty"])
+
+Internally each table is an ordered, block-compressed stable image plus the
+three-layer PDT stack of the paper; queries are positional MergeScans that
+never read columns the query does not name.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+from ..engine.relation import Relation
+from ..engine.scan import ScanTimer, scan_pdt
+from ..storage.blocks import BlockStore, DEFAULT_BLOCK_ROWS
+from ..storage.buffer import BufferPool
+from ..storage.io_stats import IOStats
+from ..storage.schema import Schema
+from ..storage.table import StableTable
+from ..txn.checkpoint import checkpoint_table, delta_memory_usage
+from ..txn.manager import TransactionManager
+from ..txn.transaction import Transaction
+from ..txn.wal import WriteAheadLog
+
+
+class Database:
+    """An updatable columnar database with PDT-based update handling."""
+
+    def __init__(
+        self,
+        compressed: bool = True,
+        block_rows: int = DEFAULT_BLOCK_ROWS,
+        buffer_capacity: int | None = None,
+        sparse_granularity: int = 4096,
+        wal_path=None,
+        write_pdt_limit_bytes: int = 1 << 20,
+    ):
+        self.io = IOStats()
+        self.store = BlockStore(compressed=compressed, block_rows=block_rows)
+        self.pool = BufferPool(self.store, self.io,
+                               capacity_bytes=buffer_capacity)
+        self.manager = TransactionManager(
+            wal=WriteAheadLog(wal_path),
+            sparse_granularity=sparse_granularity,
+        )
+        self.write_pdt_limit_bytes = write_pdt_limit_bytes
+
+    # -- DDL ---------------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, rows=()) -> None:
+        """Create and bulk-load an ordered table (sorted by its SK)."""
+        stable = StableTable.bulk_load(name, schema, rows)
+        stable.attach_storage(self.pool)
+        self.manager.register_table(stable)
+
+    def create_table_from_arrays(self, name: str, schema: Schema,
+                                 arrays: dict) -> None:
+        """Bulk path for pre-sorted columnar data (dbgen output)."""
+        stable = StableTable.from_arrays(name, schema, arrays)
+        stable.attach_storage(self.pool)
+        self.manager.register_table(stable)
+
+    def table(self, name: str) -> StableTable:
+        return self.manager.state_of(name).stable
+
+    def table_names(self) -> list[str]:
+        return self.manager.table_names()
+
+    # -- transactions ----------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.manager.begin()
+
+    @contextlib.contextmanager
+    def transaction(self):
+        """Context manager: commit on success, abort on exception."""
+        txn = self.begin()
+        try:
+            yield txn
+        except BaseException:
+            if txn.status.value == "active":
+                txn.abort()
+            raise
+        if txn.status.value == "active":
+            txn.commit()
+
+    # -- autocommit conveniences --------------------------------------------------
+
+    def insert(self, table: str, row) -> None:
+        with self.transaction() as txn:
+            txn.insert(table, row)
+
+    def delete(self, table: str, sk) -> None:
+        with self.transaction() as txn:
+            txn.delete(table, sk)
+
+    def modify(self, table: str, sk, column: str, value) -> None:
+        with self.transaction() as txn:
+            txn.modify(table, sk, column, value)
+
+    def insert_many(self, table: str, rows) -> None:
+        with self.transaction() as txn:
+            for row in rows:
+                txn.insert(table, row)
+
+    # -- queries ---------------------------------------------------------------------
+
+    def query(self, table: str, columns=None,
+              timer: ScanTimer | None = None,
+              batch_rows: int = 4096) -> Relation:
+        """Scan the latest committed state (positional merge, no locks)."""
+        state = self.manager.state_of(table)
+        return scan_pdt(
+            state.stable,
+            self.manager.latest_layers(table),
+            columns=columns,
+            timer=timer,
+            batch_rows=batch_rows,
+        )
+
+    def query_range(self, table: str, low=None, high=None, columns=None,
+                    batch_rows: int = 4096) -> Relation:
+        """Rows whose sort key (or SK prefix) lies in ``[low, high]``.
+
+        Uses the table's *stale* sparse index — built once on the stable
+        image and never maintained — to restrict the positional MergeScan
+        to the qualifying SID range; ghost-respecting SID assignment keeps
+        the pruning correct under any update load (paper section 2.1,
+        "Respecting Deletes").
+        """
+        from ..core.stack import merge_scan_layers
+        from ..engine import functions as fn
+
+        state = self.manager.state_of(table)
+        schema = state.stable.schema
+        if columns is None:
+            columns = list(schema.column_names)
+        sid_range = state.sparse_index.sid_range_for_key_range(low, high)
+        scan_cols = list(dict.fromkeys(list(columns) + list(schema.sort_key)))
+        rel = Relation.from_batches(
+            scan_cols,
+            merge_scan_layers(
+                state.stable,
+                self.manager.latest_layers(table),
+                columns=scan_cols,
+                start=sid_range.start,
+                stop=sid_range.stop,
+                batch_rows=batch_rows,
+            ),
+        )
+        key_arrays = [rel[c] for c in schema.sort_key]
+        mask = np.ones(rel.num_rows, dtype=bool)
+        if low is not None:
+            mask &= fn.lex_ge(key_arrays, low)
+        if high is not None:
+            mask &= fn.lex_le(key_arrays, high)
+        return rel.filter(mask).select(*columns)
+
+    def image_rows(self, table: str) -> list[tuple]:
+        from ..core.stack import image_rows
+
+        state = self.manager.state_of(table)
+        return image_rows(state.stable, self.manager.latest_layers(table))
+
+    def row_count(self, table: str) -> int:
+        state = self.manager.state_of(table)
+        total = state.stable.num_rows
+        for layer in self.manager.latest_layers(table):
+            total += layer.total_delta()
+        return total
+
+    # -- maintenance --------------------------------------------------------------------
+
+    def maintain(self, table: str) -> None:
+        """Propagate the Write-PDT down when it outgrows its budget."""
+        self.manager.maybe_propagate(table, self.write_pdt_limit_bytes)
+
+    def checkpoint(self, table: str) -> None:
+        """Fold all deltas into a fresh stable image (quiescent only)."""
+        checkpoint_table(self.manager, table)
+
+    def delta_bytes(self, table: str) -> int:
+        return delta_memory_usage(self.manager, table)
+
+    # -- temperature control (benchmarks) ---------------------------------------------------
+
+    def make_cold(self) -> None:
+        self.pool.clear()
+
+    def warm(self, table: str, columns=None) -> None:
+        self.pool.warm_table(table, columns)

@@ -1,0 +1,151 @@
+"""Ordered table replicas: one logical table, several physical sort orders.
+
+Part of the paper's motivation (section 1): column stores keep "multiple
+replicas of such tables in different orders" so that more of the query
+workload can exploit range predicates — at the price of multiplying the
+update problem, since a single-row update now scatters into every replica.
+PDT-based differential updates make that affordable: each replica carries
+its own PDT stack in its own SID domain, and a logical update fans out as
+one positional update per replica.
+
+:class:`ReplicatedTable` manages the fan-out and picks the best replica
+for a given predicate column set.
+"""
+
+from __future__ import annotations
+
+from ..core.stack import image_rows
+from ..db.database import Database
+from ..storage.schema import Schema
+
+
+class ReplicatedTable:
+    """A logical table materialized under several sort orders.
+
+    Each replica is a full table inside ``db`` named
+    ``{name}__r{i}`` with its own sort key, PDT layers, and sparse index.
+    Updates are applied to all replicas inside one transaction (all-or-
+    nothing); queries choose a replica whose sort key matches their
+    predicate prefix.
+    """
+
+    def __init__(self, db: Database, name: str, base_schema: Schema,
+                 sort_orders, rows=()):
+        if not sort_orders:
+            raise ValueError("need at least one sort order")
+        self.db = db
+        self.name = name
+        self.replica_names: list[str] = []
+        self.schemas: list[Schema] = []
+        rows = [base_schema.coerce_row(r) for r in rows]
+        for i, sort_key in enumerate(sort_orders):
+            schema = Schema(base_schema.columns, tuple(sort_key))
+            replica = f"{name}__r{i}"
+            db.create_table(replica, schema, rows)
+            self.replica_names.append(replica)
+            self.schemas.append(schema)
+        self.base_schema = base_schema
+
+    @property
+    def primary(self) -> str:
+        return self.replica_names[0]
+
+    # -- updates (fan out to every replica) --------------------------------
+
+    def insert(self, row) -> None:
+        row = self.base_schema.coerce_row(row)
+        with self.db.transaction() as txn:
+            for replica in self.replica_names:
+                txn.insert(replica, row)
+
+    def delete(self, primary_sk) -> None:
+        """Delete by the *primary* replica's sort key: the full row is
+        fetched there, then removed from every replica by its own key."""
+        row = self._row_by_primary_key(primary_sk)
+        with self.db.transaction() as txn:
+            for replica, schema in zip(self.replica_names, self.schemas):
+                txn.delete(replica, schema.sk_of(row))
+
+    def modify(self, primary_sk, column: str, value) -> None:
+        """Modify one attribute everywhere.
+
+        On replicas where ``column`` belongs to the sort key, the update
+        is the paper-mandated delete+insert; elsewhere it is an in-place
+        positional modify.
+        """
+        row = list(self._row_by_primary_key(primary_sk))
+        col_no = self.base_schema.column_index(column)
+        new_row = list(row)
+        new_row[col_no] = value
+        with self.db.transaction() as txn:
+            for replica, schema in zip(self.replica_names, self.schemas):
+                if schema.is_sk_column(column):
+                    txn.delete(replica, schema.sk_of(row))
+                    txn.insert(replica, tuple(new_row))
+                else:
+                    txn.modify(replica, schema.sk_of(row), column, value)
+
+    # -- queries ---------------------------------------------------------------
+
+    def replica_for(self, predicate_columns) -> str:
+        """The replica whose sort key has the longest prefix inside
+        ``predicate_columns`` (ties favor earlier replicas)."""
+        predicate_columns = set(predicate_columns)
+        best, best_len = self.primary, -1
+        for replica, schema in zip(self.replica_names, self.schemas):
+            depth = 0
+            for key_col in schema.sort_key:
+                if key_col not in predicate_columns:
+                    break
+                depth += 1
+            if depth > best_len:
+                best, best_len = replica, depth
+        return best
+
+    def query_range(self, predicate_column: str, low, high, columns=None):
+        """Range query routed to the best-sorted replica."""
+        replica = self.replica_for([predicate_column])
+        schema = self.schemas[self.replica_names.index(replica)]
+        if schema.sort_key[0] == predicate_column:
+            low_key = None if low is None else (low,)
+            high_key = None if high is None else (high,)
+            return self.db.query_range(replica, low=low_key, high=high_key,
+                                       columns=columns)
+        # No replica sorted on the predicate: full scan + filter.
+        rel = self.db.query(replica, columns=None)
+        arr = rel[predicate_column]
+        mask = arr == arr  # all-true
+        if low is not None:
+            mask &= arr >= low
+        if high is not None:
+            mask &= arr <= high
+        out = rel.filter(mask)
+        if columns is not None:
+            out = out.select(*columns)
+        return out
+
+    def image_rows(self, replica: str | None = None) -> list[tuple]:
+        return self.db.image_rows(replica or self.primary)
+
+    # -- consistency ----------------------------------------------------------
+
+    def check_replicas_consistent(self) -> None:
+        """All replicas must hold the same row *set* (orders differ)."""
+        reference = None
+        for replica in self.replica_names:
+            rows = sorted(self.db.image_rows(replica))
+            if reference is None:
+                reference = rows
+            elif rows != reference:
+                raise AssertionError(
+                    f"replica {replica!r} diverged from {self.primary!r}"
+                )
+
+    def _row_by_primary_key(self, primary_sk) -> tuple:
+        primary_sk = tuple(primary_sk)
+        schema = self.schemas[0]
+        rel = self.db.query_range(self.primary, low=primary_sk,
+                                  high=primary_sk)
+        if rel.num_rows == 0:
+            raise KeyError(f"no live tuple with key {primary_sk!r}")
+        return tuple(rel.rows()[0])

@@ -1,0 +1,16 @@
+"""Vectorized query engine: relations, expressions, and scan operators."""
+
+from . import functions
+from .relation import EngineError, GroupBy, Relation
+from .scan import ScanTimer, scan_clean, scan_pdt, scan_vdt
+
+__all__ = [
+    "EngineError",
+    "GroupBy",
+    "Relation",
+    "ScanTimer",
+    "functions",
+    "scan_clean",
+    "scan_pdt",
+    "scan_vdt",
+]

@@ -1,0 +1,87 @@
+"""Scan operators: bridging stored tables + delta structures to Relations.
+
+Three scan modes mirror the paper's three TPC-H configurations:
+
+* :func:`scan_clean` — no-updates run: stable table only.
+* :func:`scan_pdt` — positional merge through a stack of PDT layers; never
+  reads sort-key columns unless the query asks for them.
+* :func:`scan_vdt` — value-based merge; always reads sort-key columns.
+
+Each records the wall-clock *scan time* (data access + merging) in an
+optional :class:`ScanTimer`, which Figure 19's harness uses to split query
+time into scan vs processing components.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.stack import merge_scan_layers
+from ..vdt.merge import vdt_merge_scan
+from .relation import Relation
+
+
+@dataclass
+class ScanTimer:
+    """Accumulates time spent inside scan+merge per query."""
+
+    seconds: float = 0.0
+    scans: int = 0
+    by_table: dict = field(default_factory=dict)
+
+    def add(self, table_name: str, elapsed: float) -> None:
+        self.seconds += elapsed
+        self.scans += 1
+        self.by_table[table_name] = self.by_table.get(table_name, 0.0) \
+            + elapsed
+
+    def reset(self) -> None:
+        self.seconds = 0.0
+        self.scans = 0
+        self.by_table.clear()
+
+
+def scan_clean(table, columns=None, timer: ScanTimer | None = None,
+               batch_rows: int = 4096) -> Relation:
+    """Materialize a stable table scan with no update merging."""
+    columns = list(columns) if columns is not None \
+        else list(table.schema.column_names)
+    start = time.perf_counter()
+    rel = Relation.from_batches(
+        columns, table.scan(columns=columns, batch_rows=batch_rows)
+    )
+    if timer is not None:
+        timer.add(table.name, time.perf_counter() - start)
+    return rel
+
+
+def scan_pdt(table, layers, columns=None, timer: ScanTimer | None = None,
+             batch_rows: int = 4096) -> Relation:
+    """Materialize a positional MergeScan through PDT ``layers``."""
+    columns = list(columns) if columns is not None \
+        else list(table.schema.column_names)
+    start = time.perf_counter()
+    rel = Relation.from_batches(
+        columns,
+        merge_scan_layers(table, layers, columns=columns,
+                          batch_rows=batch_rows),
+    )
+    if timer is not None:
+        timer.add(table.name, time.perf_counter() - start)
+    return rel
+
+
+def scan_vdt(table, vdt, columns=None, timer: ScanTimer | None = None,
+             batch_rows: int = 4096) -> Relation:
+    """Materialize a value-based merge scan (reads SK columns always)."""
+    columns = list(columns) if columns is not None \
+        else list(table.schema.column_names)
+    start = time.perf_counter()
+    rel = Relation.from_batches(
+        columns,
+        vdt_merge_scan(table, vdt, columns=columns, batch_rows=batch_rows),
+    )
+    if timer is not None:
+        timer.add(table.name, time.perf_counter() - start)
+    return rel

@@ -1,0 +1,33 @@
+"""Columnar storage substrate: schemas, columns, blocks, buffering, indexes.
+
+This package is the paper's "read-store": ordered, block-wise, optionally
+compressed columnar tables with buffer-pool-mediated access and sparse
+(zone-map) indexing. Everything the PDT layer sits on top of.
+"""
+
+from .blocks import BlockKey, BlockStore, DEFAULT_BLOCK_ROWS
+from .btree import BPlusTree
+from .buffer import BufferPool
+from .column import Column
+from .io_stats import IOSnapshot, IOStats
+from .schema import ColumnSpec, DataType, Schema, SchemaError
+from .sparse_index import SidRange, SparseIndex
+from .table import StableTable
+
+__all__ = [
+    "BlockKey",
+    "BlockStore",
+    "BPlusTree",
+    "BufferPool",
+    "Column",
+    "ColumnSpec",
+    "DataType",
+    "DEFAULT_BLOCK_ROWS",
+    "IOSnapshot",
+    "IOStats",
+    "Schema",
+    "SchemaError",
+    "SidRange",
+    "SparseIndex",
+    "StableTable",
+]

@@ -1,0 +1,211 @@
+"""In-memory B+-tree keyed by arbitrary orderable keys.
+
+This is the substrate for the VDT baseline (paper section 2.1): the
+value-based write-store keeps its insert table and delete table "organized
+in sort key order ... it is natural to implement such tables as B-trees".
+Keys here are sort-key tuples; values are arbitrary payloads (full tuples
+for the insert table, None for the delete table).
+
+The tree supports point insert/delete/get, ordered iteration, and range
+scans — everything the MergeUnion/MergeDiff scan needs.
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf")
+
+    def __init__(self, leaf: bool):
+        self.keys: list = []
+        self.children: list | None = None if leaf else []
+        self.values: list | None = [] if leaf else None
+        self.next_leaf: "_Node | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class BPlusTree:
+    """Ordered map with B+-tree leaves linked for cheap in-order scans."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError("order must be >= 4")
+        self.order = order
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key) -> bool:
+        return self.get(key, _MISSING) is not _MISSING
+
+    # -- point operations --------------------------------------------------
+
+    def get(self, key, default=None):
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return leaf.values[i]
+        return default
+
+    def insert(self, key, value) -> None:
+        """Insert or overwrite ``key``."""
+        path = self._path_to_leaf(key)
+        leaf = path[-1][0]
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            leaf.values[i] = value
+            return
+        leaf.keys.insert(i, key)
+        leaf.values.insert(i, value)
+        self._count += 1
+        self._split_upward(path)
+
+    def delete(self, key) -> bool:
+        """Remove ``key`` if present. Returns True when removed.
+
+        Underflow is tolerated (no rebalancing): VDT delta structures are
+        RAM-resident and rebuilt at every checkpoint, so lazily shrinking
+        nodes is the standard engineering choice; lookups stay correct.
+        """
+        leaf = self._find_leaf(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return False
+        del leaf.keys[i]
+        del leaf.values[i]
+        self._count -= 1
+        return True
+
+    # -- iteration ---------------------------------------------------------
+
+    def items(self):
+        """All ``(key, value)`` pairs in key order."""
+        leaf = self._leftmost_leaf()
+        while leaf is not None:
+            for key, value in zip(leaf.keys, leaf.values):
+                if value is not _TOMBSTONE:
+                    yield key, value
+            leaf = leaf.next_leaf
+
+    def keys(self):
+        for key, _ in self.items():
+            yield key
+
+    def range_items(self, low=None, high=None):
+        """Pairs with ``low <= key < high`` (None = unbounded)."""
+        if low is None:
+            leaf = self._leftmost_leaf()
+            i = 0
+        else:
+            leaf = self._find_leaf(low)
+            i = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if high is not None and key >= high:
+                    return
+                yield key, leaf.values[i]
+                i += 1
+            leaf = leaf.next_leaf
+            i = 0
+
+    def min_key(self):
+        leaf = self._leftmost_leaf()
+        while leaf is not None and not leaf.keys:
+            leaf = leaf.next_leaf
+        return leaf.keys[0] if leaf is not None else None
+
+    def clear(self) -> None:
+        self._root = _Node(leaf=True)
+        self._count = 0
+
+    # -- internals -----------------------------------------------------------
+
+    def _find_leaf(self, key) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+        return node
+
+    def _path_to_leaf(self, key):
+        """Root-to-leaf path as ``[(node, child_index_taken), ...]``."""
+        path = []
+        node = self._root
+        while not node.is_leaf:
+            i = bisect.bisect_right(node.keys, key)
+            path.append((node, i))
+            node = node.children[i]
+        path.append((node, -1))
+        return path
+
+    def _leftmost_leaf(self) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        return node
+
+    def _split_upward(self, path) -> None:
+        node, _ = path[-1]
+        level = len(path) - 1
+        while len(node.keys) > self.order:
+            mid = len(node.keys) // 2
+            if node.is_leaf:
+                right = _Node(leaf=True)
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                sep = right.keys[0]
+            else:
+                right = _Node(leaf=False)
+                sep = node.keys[mid]
+                right.keys = node.keys[mid + 1 :]
+                right.children = node.children[mid + 1 :]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            if level == 0:
+                new_root = _Node(leaf=False)
+                new_root.keys = [sep]
+                new_root.children = [node, right]
+                self._root = new_root
+                return
+            parent, child_idx = path[level - 1]
+            parent.keys.insert(child_idx, sep)
+            parent.children.insert(child_idx + 1, right)
+            node, level = parent, level - 1
+
+    def check_invariants(self) -> None:
+        """Validate key order and child/key counts (used by tests)."""
+        previous = None
+        for key in self.keys():
+            if previous is not None and not previous < key:
+                raise AssertionError(f"keys out of order: {previous!r} !< {key!r}")
+            previous = key
+
+        def visit(node):
+            if node.is_leaf:
+                return
+            if len(node.children) != len(node.keys) + 1:
+                raise AssertionError("inner node fan-out mismatch")
+            for child in node.children:
+                visit(child)
+
+        visit(self._root)
+
+
+class _Missing:
+    __slots__ = ()
+
+
+_MISSING = _Missing()
+_TOMBSTONE = _Missing()

@@ -1,0 +1,82 @@
+"""I/O accounting for the simulated disk.
+
+The paper's Figure 19 (plots 2 and 5) reports per-query I/O *volume* for
+no-updates, VDT, and PDT runs. Our disk is simulated, so instead of timing
+physical reads we count the bytes each scan pulls from "disk" (i.e. buffer
+pool misses, at the stored — possibly compressed — block size). An optional
+bandwidth cost model converts volume into simulated seconds so that "cold"
+runs can report an I/O-inclusive time.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IOSnapshot:
+    """Immutable view of counters, used to compute per-query deltas."""
+
+    bytes_read: int = 0
+    blocks_read: int = 0
+    bytes_by_column: dict = field(default_factory=dict)
+
+    def minus(self, earlier: "IOSnapshot") -> "IOSnapshot":
+        by_col = {
+            key: count - earlier.bytes_by_column.get(key, 0)
+            for key, count in self.bytes_by_column.items()
+            if count - earlier.bytes_by_column.get(key, 0)
+        }
+        return IOSnapshot(
+            bytes_read=self.bytes_read - earlier.bytes_read,
+            blocks_read=self.blocks_read - earlier.blocks_read,
+            bytes_by_column=by_col,
+        )
+
+
+class IOStats:
+    """Mutable counters shared by a :class:`~repro.storage.buffer.BufferPool`.
+
+    ``record_read`` is invoked on every buffer-pool miss. Columns are keyed
+    by ``(table_name, column_name)`` so experiments can attribute I/O to
+    sort-key columns specifically (the PDT-vs-VDT difference).
+    """
+
+    def __init__(self, read_bandwidth_bytes_per_sec: float | None = None):
+        self.bytes_read = 0
+        self.blocks_read = 0
+        self.bytes_by_column: dict = defaultdict(int)
+        self.read_bandwidth = read_bandwidth_bytes_per_sec
+
+    def record_read(self, table: str, column: str, nbytes: int) -> None:
+        self.bytes_read += nbytes
+        self.blocks_read += 1
+        self.bytes_by_column[(table, column)] += nbytes
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(
+            bytes_read=self.bytes_read,
+            blocks_read=self.blocks_read,
+            bytes_by_column=dict(self.bytes_by_column),
+        )
+
+    def since(self, snap: IOSnapshot) -> IOSnapshot:
+        return self.snapshot().minus(snap)
+
+    def simulated_seconds(self, nbytes: int | None = None) -> float:
+        """Convert a byte count into simulated I/O seconds.
+
+        Returns 0.0 when no bandwidth model is configured (pure counting
+        mode, used by the I/O-volume benchmarks).
+        """
+        if not self.read_bandwidth:
+            return 0.0
+        if nbytes is None:
+            nbytes = self.bytes_read
+        return nbytes / self.read_bandwidth
+
+    def reset(self) -> None:
+        self.bytes_read = 0
+        self.blocks_read = 0
+        self.bytes_by_column.clear()

@@ -1,0 +1,163 @@
+"""Relational schema definitions for ordered columnar tables.
+
+A :class:`Schema` describes the columns of a table together with its *sort
+key* (SK): the sequence of attributes that defines the physical tuple order
+of the stable table (the columnar equivalent of an index-organized table,
+see paper section 2, "Ordered Tables").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class DataType(enum.Enum):
+    """Logical column types supported by the storage layer.
+
+    ``DATE`` is stored as int32 days-since-epoch; ``DECIMAL`` is stored as
+    float64 (documented substitution: TPC-H decimals fit float64 exactly at
+    the scales we generate).
+    """
+
+    INT64 = "int64"
+    INT32 = "int32"
+    FLOAT64 = "float64"
+    STRING = "string"
+    DATE = "date"
+    BOOL = "bool"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The numpy dtype used to hold column vectors of this type."""
+        return _NUMPY_DTYPES[self]
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (
+            DataType.INT64,
+            DataType.INT32,
+            DataType.FLOAT64,
+            DataType.DATE,
+            DataType.BOOL,
+        )
+
+    def python_value(self, value):
+        """Coerce ``value`` to the canonical Python value for this type."""
+        if self is DataType.STRING:
+            return str(value)
+        if self is DataType.FLOAT64:
+            return float(value)
+        if self is DataType.BOOL:
+            return bool(value)
+        return int(value)
+
+
+_NUMPY_DTYPES = {
+    DataType.INT64: np.dtype(np.int64),
+    DataType.INT32: np.dtype(np.int32),
+    DataType.FLOAT64: np.dtype(np.float64),
+    DataType.STRING: np.dtype(object),
+    DataType.DATE: np.dtype(np.int32),
+    DataType.BOOL: np.dtype(np.bool_),
+}
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """Name and type of a single column."""
+
+    name: str
+    dtype: DataType
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("column name must be non-empty")
+
+
+class SchemaError(ValueError):
+    """Raised for malformed schema definitions or unknown columns."""
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of columns plus the table's sort key.
+
+    Parameters
+    ----------
+    columns:
+        Column specifications, in physical order.
+    sort_key:
+        Names of the columns forming the SK, in significance order. Must be
+        non-empty: the paper's setting is ordered (clustered) table storage,
+        where the SK is also a key of the table.
+    """
+
+    columns: tuple[ColumnSpec, ...]
+    sort_key: tuple[str, ...]
+    _index: dict = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, columns, sort_key):
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "sort_key", tuple(sort_key))
+        object.__setattr__(
+            self, "_index", {c.name: i for i, c in enumerate(self.columns)}
+        )
+        if len(self._index) != len(self.columns):
+            raise SchemaError("duplicate column names")
+        if not self.sort_key:
+            raise SchemaError("sort key must have at least one column")
+        for name in self.sort_key:
+            if name not in self._index:
+                raise SchemaError(f"sort key column {name!r} not in schema")
+
+    @classmethod
+    def build(cls, *cols: tuple[str, DataType], sort_key) -> "Schema":
+        """Convenience constructor from ``(name, dtype)`` pairs."""
+        return cls([ColumnSpec(n, t) for n, t in cols], sort_key)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def sort_key_indexes(self) -> tuple[int, ...]:
+        """Physical indexes of the sort-key columns, in SK order."""
+        return tuple(self._index[n] for n in self.sort_key)
+
+    def column_index(self, name: str) -> int:
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"unknown column {name!r}") from None
+
+    def column(self, name: str) -> ColumnSpec:
+        return self.columns[self.column_index(name)]
+
+    def dtype_of(self, name: str) -> DataType:
+        return self.column(name).dtype
+
+    def sk_of(self, row) -> tuple:
+        """Extract the sort-key values of a full tuple as a Python tuple."""
+        return tuple(row[i] for i in self.sort_key_indexes)
+
+    def coerce_row(self, row) -> tuple:
+        """Validate and coerce a full tuple to canonical Python values."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"tuple has {len(row)} values, schema has {len(self.columns)}"
+            )
+        return tuple(
+            spec.dtype.python_value(v) for spec, v in zip(self.columns, row)
+        )
+
+    def is_sk_column(self, name: str) -> bool:
+        return name in self.sort_key

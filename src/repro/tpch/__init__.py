@@ -1,0 +1,25 @@
+"""TPC-H substrate: schemas, dbgen, loader, refresh streams, 22 queries."""
+
+from . import queries, schema
+from .dbgen import RefreshPair, TpchData, generate
+from .loader import build, load_database
+from .queries import ALL_QUERIES, NON_UPDATED_QUERIES, run_query
+from .sources import CleanSource, PdtSource, VdtSource
+from .updates import RefreshApplier
+
+__all__ = [
+    "ALL_QUERIES",
+    "CleanSource",
+    "NON_UPDATED_QUERIES",
+    "PdtSource",
+    "RefreshApplier",
+    "RefreshPair",
+    "TpchData",
+    "VdtSource",
+    "build",
+    "generate",
+    "load_database",
+    "queries",
+    "run_query",
+    "schema",
+]

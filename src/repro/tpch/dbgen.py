@@ -1,0 +1,433 @@
+"""Deterministic, vectorized TPC-H data generator (scaled down).
+
+A from-scratch dbgen substitute: same schemas, cardinality ratios, value
+domains, and distribution shapes as the official generator, implemented
+with seeded numpy so any scale factor regenerates identically. Text fields
+are simplified but preserve every property the 22 queries predicate on
+(colors in ``p_name``, type/container vocabularies, phone country codes,
+the Q13 ``%special%requests%`` comments, Q16's Customer Complaints...).
+
+Initial orders receive *even* order keys; refresh-stream inserts use *odd*
+keys drawn uniformly over the same range, so RF1 inserts scatter across
+the whole SK-ordered table exactly like the official key-reservation
+scheme does (the behaviour the paper's update load depends on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.functions import days
+from . import schema as tpch_schema
+
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [  # (name, region index) — the official 25 nations
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1),
+    ("EGYPT", 4), ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3),
+    ("INDIA", 2), ("INDONESIA", 2), ("IRAN", 4), ("IRAQ", 4),
+    ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0), ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3), ("UNITED STATES", 1),
+]
+
+COLORS = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+    "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chart",
+    "chiffon", "chocolate", "coral", "cornflower", "cream", "cyan", "dark",
+    "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honey",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon",
+    "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+    "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive",
+    "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum",
+    "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle",
+    "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke",
+    "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise",
+    "violet", "wheat", "white", "yellow",
+]
+
+TYPE_SYLL1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLL2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLL3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+
+CONTAINER_SYLL1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLL2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_INSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+
+FILLER_WORDS = [
+    "carefully", "furiously", "quickly", "slyly", "blithely", "deposits",
+    "requests", "packages", "accounts", "instructions", "theodolites",
+    "platelets", "ideas", "foxes", "pinto", "beans", "asymptotes",
+]
+
+START_DATE = days(1992, 1, 1)
+END_DATE = days(1998, 8, 2)  # CURRENTDATE per spec is 1995-06-17
+CURRENT_DATE = days(1995, 6, 17)
+
+
+@dataclass
+class RefreshPair:
+    """One RF1/RF2 refresh pair: rows to insert and order keys to delete."""
+
+    new_orders: list[tuple] = field(default_factory=list)
+    new_lineitems: list[tuple] = field(default_factory=list)
+    delete_orderkeys: list[int] = field(default_factory=list)
+
+
+@dataclass
+class TpchData:
+    """Generated tables (numpy column dicts, sorted by SK) + refresh sets."""
+
+    scale: float
+    tables: dict = field(default_factory=dict)
+    refreshes: list[RefreshPair] = field(default_factory=list)
+
+    def row_count(self, table: str) -> int:
+        arrays = self.tables[table]
+        return len(next(iter(arrays.values())))
+
+    def rows(self, table: str) -> list[tuple]:
+        schema = tpch_schema.SCHEMAS[table]
+        arrays = self.tables[table]
+        cols = [arrays[c] for c in schema.column_names]
+        return [tuple(col[i] for col in cols) for i in range(len(cols[0]))]
+
+
+def _obj(values) -> np.ndarray:
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    return arr
+
+
+def _pick(rng, choices, n) -> np.ndarray:
+    idx = rng.randint(0, len(choices), size=n)
+    return _obj([choices[i] for i in idx])
+
+
+def _comment(rng, n, special_fraction=0.0) -> np.ndarray:
+    words = [
+        " ".join(
+            FILLER_WORDS[j]
+            for j in rng.randint(0, len(FILLER_WORDS), size=4)
+        )
+        for _ in range(n)
+    ]
+    if special_fraction > 0 and n:
+        hits = rng.rand(n) < special_fraction
+        for i in np.flatnonzero(hits):
+            words[i] = "dolphins special packages requests " + words[i]
+    return _obj(words)
+
+
+def _phone(nation_keys: np.ndarray, rng) -> np.ndarray:
+    locals_ = rng.randint(100, 999, size=(len(nation_keys), 3))
+    return _obj(
+        [
+            f"{int(nk) + 10}-{a}-{b}-{c}"
+            for nk, (a, b, c) in zip(nation_keys, locals_)
+        ]
+    )
+
+
+def generate(scale: float = 0.01, seed: int = 19920101,
+             refresh_pairs: int = 2,
+             refresh_fraction: float = 0.001) -> TpchData:
+    """Generate all eight tables plus ``refresh_pairs`` RF1/RF2 sets.
+
+    ``refresh_fraction`` mirrors the official streams: each pair inserts
+    and deletes ~0.1% of the orders (and their lineitems).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    data = TpchData(scale=scale)
+    n_supplier = max(int(scale * 10_000), 5)
+    n_customer = max(int(scale * 150_000), 15)
+    n_part = max(int(scale * 200_000), 20)
+    n_orders = max(int(scale * 1_500_000), 50)
+
+    data.tables["region"] = _gen_region()
+    data.tables["nation"] = _gen_nation()
+    data.tables["supplier"] = _gen_supplier(n_supplier, seed)
+    data.tables["customer"] = _gen_customer(n_customer, seed)
+    data.tables["part"] = _gen_part(n_part, seed)
+    data.tables["partsupp"] = _gen_partsupp(n_part, n_supplier, seed)
+    orders, lineitems = _gen_orders_lineitem(
+        n_orders, n_customer, n_part, n_supplier, seed
+    )
+    data.tables["orders"] = orders
+    data.tables["lineitem"] = lineitems
+
+    rng = np.random.RandomState(seed + 777)
+    per_pair = max(int(n_orders * refresh_fraction), 1)
+    used_odd: set[int] = set()
+    deleted: set[int] = set()
+    even_keys = orders["o_orderkey"]
+    for _ in range(refresh_pairs):
+        pair = _gen_refresh_pair(
+            rng, per_pair, n_orders, n_customer, n_part, n_supplier,
+            used_odd, deleted, even_keys,
+        )
+        data.refreshes.append(pair)
+    return data
+
+
+# ---------------------------------------------------------------------------
+# per-table generators
+
+
+def _gen_region() -> dict:
+    return {
+        "r_regionkey": np.arange(len(REGIONS), dtype=np.int64),
+        "r_name": _obj(REGIONS),
+        "r_comment": _obj([f"region {r.lower()}" for r in REGIONS]),
+    }
+
+
+def _gen_nation() -> dict:
+    return {
+        "n_nationkey": np.arange(len(NATIONS), dtype=np.int64),
+        "n_name": _obj([n for n, _ in NATIONS]),
+        "n_regionkey": np.asarray([r for _, r in NATIONS], dtype=np.int64),
+        "n_comment": _obj([f"nation {n.lower()}" for n, _ in NATIONS]),
+    }
+
+
+def _gen_supplier(n: int, seed: int) -> dict:
+    rng = np.random.RandomState(seed + 1)
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nation = rng.randint(0, len(NATIONS), size=n).astype(np.int64)
+    comments = _comment(rng, n)
+    # ~0.05% of suppliers carry the Q16 complaints marker.
+    for i in np.flatnonzero(rng.rand(n) < 0.0005):
+        comments[i] = "wake Customer slyly Complaints " + comments[i]
+    return {
+        "s_suppkey": keys,
+        "s_name": _obj([f"Supplier#{k:09d}" for k in keys]),
+        "s_address": _obj([f"addr sup {k}" for k in keys]),
+        "s_nationkey": nation,
+        "s_phone": _phone(nation, rng),
+        "s_acctbal": rng.uniform(-999.99, 9999.99, size=n).round(2),
+        "s_comment": comments,
+    }
+
+
+def _gen_customer(n: int, seed: int) -> dict:
+    rng = np.random.RandomState(seed + 2)
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    nation = rng.randint(0, len(NATIONS), size=n).astype(np.int64)
+    return {
+        "c_custkey": keys,
+        "c_name": _obj([f"Customer#{k:09d}" for k in keys]),
+        "c_address": _obj([f"addr cst {k}" for k in keys]),
+        "c_nationkey": nation,
+        "c_phone": _phone(nation, rng),
+        "c_acctbal": rng.uniform(-999.99, 9999.99, size=n).round(2),
+        "c_mktsegment": _pick(rng, SEGMENTS, n),
+        "c_comment": _comment(rng, n),
+    }
+
+
+def _gen_part(n: int, seed: int) -> dict:
+    rng = np.random.RandomState(seed + 3)
+    keys = np.arange(1, n + 1, dtype=np.int64)
+    names = _obj(
+        [
+            f"{COLORS[a]} {COLORS[b]}"
+            for a, b in zip(
+                rng.randint(0, len(COLORS), size=n),
+                rng.randint(0, len(COLORS), size=n),
+            )
+        ]
+    )
+    mfgr_no = rng.randint(1, 6, size=n)
+    brand_no = mfgr_no * 10 + rng.randint(1, 6, size=n)
+    types = _obj(
+        [
+            f"{TYPE_SYLL1[a]} {TYPE_SYLL2[b]} {TYPE_SYLL3[c]}"
+            for a, b, c in zip(
+                rng.randint(0, len(TYPE_SYLL1), size=n),
+                rng.randint(0, len(TYPE_SYLL2), size=n),
+                rng.randint(0, len(TYPE_SYLL3), size=n),
+            )
+        ]
+    )
+    containers = _obj(
+        [
+            f"{CONTAINER_SYLL1[a]} {CONTAINER_SYLL2[b]}"
+            for a, b in zip(
+                rng.randint(0, len(CONTAINER_SYLL1), size=n),
+                rng.randint(0, len(CONTAINER_SYLL2), size=n),
+            )
+        ]
+    )
+    return {
+        "p_partkey": keys,
+        "p_name": names,
+        "p_mfgr": _obj([f"Manufacturer#{m}" for m in mfgr_no]),
+        "p_brand": _obj([f"Brand#{b}" for b in brand_no]),
+        "p_type": types,
+        "p_size": rng.randint(1, 51, size=n).astype(np.int64),
+        "p_container": containers,
+        "p_retailprice": (
+            900 + (keys % 1000) / 10 + 100 * (keys % 10)
+        ).astype(np.float64),
+        "p_comment": _comment(rng, n),
+    }
+
+
+def _gen_partsupp(n_part: int, n_supplier: int, seed: int) -> dict:
+    rng = np.random.RandomState(seed + 4)
+    part_keys = np.repeat(np.arange(1, n_part + 1, dtype=np.int64), 4)
+    n = len(part_keys)
+    # Four distinct suppliers per part, in ascending suppkey order per the
+    # composite sort key.
+    supp = np.empty((n_part, 4), dtype=np.int64)
+    base = rng.randint(0, n_supplier, size=n_part)
+    for j in range(4):
+        supp[:, j] = (base + j * max(n_supplier // 4, 1)) % n_supplier + 1
+    supp.sort(axis=1)
+    supp_keys = supp.reshape(-1)
+    return {
+        "ps_partkey": part_keys,
+        "ps_suppkey": supp_keys,
+        "ps_availqty": rng.randint(1, 10_000, size=n).astype(np.int64),
+        "ps_supplycost": rng.uniform(1.0, 1000.0, size=n).round(2),
+        "ps_comment": _comment(rng, n),
+    }
+
+
+def _order_row_arrays(rng, orderkeys, n_customer):
+    n = len(orderkeys)
+    dates = rng.randint(START_DATE, END_DATE - 150, size=n).astype(np.int32)
+    return {
+        "o_orderdate": dates,
+        "o_orderkey": np.asarray(orderkeys, dtype=np.int64),
+        "o_custkey": rng.randint(1, n_customer + 1, size=n).astype(np.int64),
+        "o_orderstatus": _obj(["O"] * n),  # fixed up after lineitems
+        "o_totalprice": np.zeros(n, dtype=np.float64),
+        "o_orderpriority": _pick(rng, PRIORITIES, n),
+        "o_clerk": _obj(
+            [f"Clerk#{int(c):09d}" for c in rng.randint(1, 1001, size=n)]
+        ),
+        "o_shippriority": np.zeros(n, dtype=np.int64),
+        "o_comment": _comment(rng, n, special_fraction=0.02),
+    }
+
+
+def _lineitem_rows_for(rng, orderkey, orderdate, n_part, n_supplier):
+    n_lines = int(rng.randint(1, 8))
+    rows = []
+    total = 0.0
+    any_open = False
+    for line in range(1, n_lines + 1):
+        qty = float(rng.randint(1, 51))
+        partkey = int(rng.randint(1, n_part + 1))
+        suppkey = int(rng.randint(1, n_supplier + 1))
+        price = round(qty * (900 + partkey % 1000 / 10 + 100 * (partkey % 10)) / 100, 2)
+        discount = round(float(rng.randint(0, 11)) / 100, 2)
+        tax = round(float(rng.randint(0, 9)) / 100, 2)
+        shipdate = int(orderdate) + int(rng.randint(1, 122))
+        commitdate = int(orderdate) + int(rng.randint(30, 91))
+        receiptdate = shipdate + int(rng.randint(1, 31))
+        if receiptdate <= CURRENT_DATE:
+            returnflag = "R" if rng.rand() < 0.5 else "A"
+        else:
+            returnflag = "N"
+        linestatus = "F" if shipdate <= CURRENT_DATE else "O"
+        any_open = any_open or linestatus == "O"
+        total += price * (1 - discount) * (1 + tax)
+        rows.append(
+            (
+                int(orderkey), line, partkey, suppkey, qty, price, discount,
+                tax, returnflag, linestatus, shipdate, commitdate,
+                receiptdate,
+                SHIP_INSTRUCT[int(rng.randint(0, len(SHIP_INSTRUCT)))],
+                SHIP_MODES[int(rng.randint(0, len(SHIP_MODES)))],
+                "line filler",
+            )
+        )
+    status = "O" if any_open else "F"
+    if any_open and any(r[9] == "F" for r in rows):
+        status = "P"
+    return rows, round(total, 2), status
+
+
+def _gen_orders_lineitem(n_orders, n_customer, n_part, n_supplier, seed):
+    rng = np.random.RandomState(seed + 5)
+    orderkeys = np.arange(1, n_orders + 1, dtype=np.int64) * 2  # even keys
+    orders = _order_row_arrays(rng, orderkeys, n_customer)
+
+    line_rows: list[tuple] = []
+    statuses = []
+    totals = np.zeros(n_orders, dtype=np.float64)
+    for i in range(n_orders):
+        rows, total, status = _lineitem_rows_for(
+            rng, orderkeys[i], orders["o_orderdate"][i], n_part, n_supplier
+        )
+        line_rows.extend(rows)
+        totals[i] = total
+        statuses.append(status)
+    orders["o_totalprice"] = totals
+    orders["o_orderstatus"] = _obj(statuses)
+
+    order_sort = np.lexsort(
+        (orders["o_orderkey"], orders["o_orderdate"])
+    )
+    orders = {k: v[order_sort] for k, v in orders.items()}
+
+    line_rows.sort(key=lambda r: (r[0], r[1]))
+    schema = tpch_schema.LINEITEM
+    lineitem = {}
+    for idx, spec in enumerate(schema.columns):
+        values = [r[idx] for r in line_rows]
+        if spec.dtype.numpy_dtype == object:
+            lineitem[spec.name] = _obj(values)
+        else:
+            lineitem[spec.name] = np.asarray(
+                values, dtype=spec.dtype.numpy_dtype
+            )
+    return orders, lineitem
+
+
+def _gen_refresh_pair(rng, per_pair, n_orders, n_customer, n_part,
+                      n_supplier, used_odd, deleted, even_keys):
+    pair = RefreshPair()
+    # RF1: brand-new orders with odd keys scattered over the key range.
+    while len(pair.new_orders) < per_pair:
+        key = int(rng.randint(0, n_orders)) * 2 + 1
+        if key in used_odd:
+            continue
+        used_odd.add(key)
+        orderdate = int(rng.randint(START_DATE, END_DATE - 150))
+        arrays = _order_row_arrays(
+            np.random.RandomState(key), np.asarray([key]), n_customer
+        )
+        rows, total, status = _lineitem_rows_for(
+            np.random.RandomState(key + 1), key, orderdate, n_part,
+            n_supplier,
+        )
+        order_row = (
+            orderdate, key, int(arrays["o_custkey"][0]), status,
+            total, str(arrays["o_orderpriority"][0]),
+            str(arrays["o_clerk"][0]), 0, str(arrays["o_comment"][0]),
+        )
+        pair.new_orders.append(order_row)
+        pair.new_lineitems.extend(rows)
+    # RF2: delete existing orders (scattered, never twice).
+    while len(pair.delete_orderkeys) < per_pair:
+        key = int(even_keys[int(rng.randint(0, len(even_keys)))])
+        if key in deleted:
+            continue
+        deleted.add(key)
+        pair.delete_orderkeys.append(key)
+    return pair

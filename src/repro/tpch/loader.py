@@ -1,0 +1,32 @@
+"""Loading generated TPC-H data into a Database."""
+
+from __future__ import annotations
+
+from ..db.database import Database
+from . import schema as tpch_schema
+from .dbgen import TpchData, generate
+
+
+def load_database(
+    data: TpchData,
+    compressed: bool = True,
+    block_rows: int = 4096,
+    buffer_capacity: int | None = None,
+) -> Database:
+    """Bulk-load all eight tables into a fresh database."""
+    db = Database(
+        compressed=compressed,
+        block_rows=block_rows,
+        buffer_capacity=buffer_capacity,
+    )
+    for name, schema in tpch_schema.SCHEMAS.items():
+        db.create_table_from_arrays(name, schema, data.tables[name])
+    return db
+
+
+def build(scale: float = 0.01, compressed: bool = True, seed: int = 19920101,
+          **kwargs):
+    """One-call convenience: generate data and load it. Returns
+    ``(data, db)``."""
+    data = generate(scale=scale, seed=seed)
+    return data, load_database(data, compressed=compressed, **kwargs)

@@ -1,0 +1,706 @@
+"""All 22 TPC-H queries as physical plans over the relation engine.
+
+Each query takes a *source* (see :mod:`repro.tpch.sources`) exposing
+``scan(table, columns)`` and returns a :class:`~repro.engine.Relation`.
+Queries request exactly the columns they use — the property that lets
+positional merging skip sort-key I/O. Parameters default to the TPC-H
+validation values; dates are day numbers (see
+:mod:`repro.engine.functions`).
+
+These are physical plans, not SQL: joins are ordered by hand the way a
+reasonable optimizer would on TPC-H (selective filters first, dimension
+tables on the build side).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..engine import functions as fn
+from ..engine.relation import Relation
+
+D = fn.days
+
+
+def q01(src, delta_days: int = 90) -> Relation:
+    """Pricing summary report."""
+    cutoff = fn.add_days(D(1998, 12, 1), -delta_days)
+    li = src.scan(
+        "lineitem",
+        ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
+         "l_discount", "l_tax", "l_shipdate"],
+    )
+    li = li.filter(li["l_shipdate"] <= cutoff)
+    disc = li["l_extendedprice"] * (1 - li["l_discount"])
+    li = li.with_columns(
+        disc_price=disc, charge=disc * (1 + li["l_tax"])
+    )
+    out = li.group_by("l_returnflag", "l_linestatus").agg(
+        sum_qty=("l_quantity", "sum"),
+        sum_base_price=("l_extendedprice", "sum"),
+        sum_disc_price=("disc_price", "sum"),
+        sum_charge=("charge", "sum"),
+        avg_qty=("l_quantity", "avg"),
+        avg_price=("l_extendedprice", "avg"),
+        avg_disc=("l_discount", "avg"),
+        count_order=("*", "count"),
+    )
+    return out.order_by("l_returnflag", "l_linestatus")
+
+
+def q02(src, size: int = 15, type_suffix: str = "BRASS",
+        region: str = "EUROPE") -> Relation:
+    """Minimum cost supplier."""
+    part = src.scan("part", ["p_partkey", "p_mfgr", "p_size", "p_type"])
+    part = part.filter(
+        (part["p_size"] == size) & fn.ends_with(part["p_type"], type_suffix)
+    )
+    ps = src.scan("partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"])
+    supp = src.scan(
+        "supplier",
+        ["s_suppkey", "s_name", "s_address", "s_nationkey", "s_phone",
+         "s_acctbal", "s_comment"],
+    )
+    nation = src.scan("nation", ["n_nationkey", "n_name", "n_regionkey"])
+    reg = src.scan("region", ["r_regionkey", "r_name"])
+    reg = reg.filter(reg["r_name"] == region)
+    nation = nation.join(reg, left_on="n_regionkey", right_on="r_regionkey")
+    supp = supp.join(nation, left_on="s_nationkey", right_on="n_nationkey")
+    ps = ps.join(supp, left_on="ps_suppkey", right_on="s_suppkey")
+    joined = part.join(ps, left_on="p_partkey", right_on="ps_partkey")
+    if joined.num_rows == 0:
+        return joined
+    mins = joined.group_by("p_partkey").agg(
+        min_cost=("ps_supplycost", "min")
+    )
+    joined = joined.join(mins, left_on="p_partkey")
+    joined = joined.filter(
+        joined["ps_supplycost"] == joined["min_cost"]
+    )
+    out = joined.select(
+        "s_acctbal", "s_name", "n_name", "p_partkey", "p_mfgr", "s_address",
+        "s_phone", "s_comment",
+    )
+    return out.order_by(
+        ("s_acctbal", "desc"), ("n_name", "asc"), ("s_name", "asc"),
+        ("p_partkey", "asc"),
+    ).limit(100)
+
+
+def q03(src, segment: str = "BUILDING", date: int | None = None) -> Relation:
+    """Shipping priority."""
+    date = D(1995, 3, 15) if date is None else date
+    cust = src.scan("customer", ["c_custkey", "c_mktsegment"])
+    cust = cust.filter(cust["c_mktsegment"] == segment)
+    orders = src.scan(
+        "orders",
+        ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+    )
+    orders = orders.filter(orders["o_orderdate"] < date)
+    orders = orders.join(cust, left_on="o_custkey", right_on="c_custkey",
+                         how="semi")
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+    )
+    li = li.filter(li["l_shipdate"] > date)
+    joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.with_columns(
+        revenue=joined["l_extendedprice"] * (1 - joined["l_discount"])
+    )
+    out = joined.group_by(
+        "l_orderkey", "o_orderdate", "o_shippriority"
+    ).agg(revenue=("revenue", "sum"))
+    return out.order_by(
+        ("revenue", "desc"), ("o_orderdate", "asc"), ("l_orderkey", "asc")
+    ).limit(10)
+
+
+def q04(src, date: int | None = None) -> Relation:
+    """Order priority checking."""
+    date = D(1993, 7, 1) if date is None else date
+    orders = src.scan(
+        "orders", ["o_orderkey", "o_orderdate", "o_orderpriority"]
+    )
+    orders = orders.filter(
+        (orders["o_orderdate"] >= date)
+        & (orders["o_orderdate"] < fn.add_months(date, 3))
+    )
+    li = src.scan("lineitem", ["l_orderkey", "l_commitdate",
+                               "l_receiptdate"])
+    late = li.filter(li["l_commitdate"] < li["l_receiptdate"])
+    orders = orders.join(late, left_on="o_orderkey", right_on="l_orderkey",
+                         how="semi")
+    out = orders.group_by("o_orderpriority").agg(
+        order_count=("*", "count")
+    )
+    return out.order_by("o_orderpriority")
+
+
+def q05(src, region: str = "ASIA", date: int | None = None) -> Relation:
+    """Local supplier volume."""
+    date = D(1994, 1, 1) if date is None else date
+    reg = src.scan("region", ["r_regionkey", "r_name"])
+    reg = reg.filter(reg["r_name"] == region)
+    nation = src.scan("nation", ["n_nationkey", "n_name", "n_regionkey"])
+    nation = nation.join(reg, left_on="n_regionkey", right_on="r_regionkey")
+    supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
+    supp = supp.join(nation, left_on="s_nationkey", right_on="n_nationkey")
+    cust = src.scan("customer", ["c_custkey", "c_nationkey"])
+    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = orders.filter(
+        (orders["o_orderdate"] >= date)
+        & (orders["o_orderdate"] < fn.add_years(date, 1))
+    )
+    orders = orders.join(cust, left_on="o_custkey", right_on="c_custkey")
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_extendedprice", "l_discount"],
+    )
+    joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.join(supp, left_on="l_suppkey", right_on="s_suppkey")
+    # Local: the customer's nation is the supplier's nation.
+    joined = joined.filter(joined["c_nationkey"] == joined["s_nationkey"])
+    joined = joined.with_columns(
+        revenue=joined["l_extendedprice"] * (1 - joined["l_discount"])
+    )
+    out = joined.group_by("n_name").agg(revenue=("revenue", "sum"))
+    return out.order_by(("revenue", "desc"))
+
+
+def q06(src, date: int | None = None, discount: float = 0.06,
+        quantity: int = 24) -> Relation:
+    """Forecasting revenue change."""
+    date = D(1994, 1, 1) if date is None else date
+    li = src.scan(
+        "lineitem",
+        ["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
+    )
+    mask = (
+        (li["l_shipdate"] >= date)
+        & (li["l_shipdate"] < fn.add_years(date, 1))
+        & (li["l_discount"] >= round(discount - 0.011, 2))
+        & (li["l_discount"] <= round(discount + 0.011, 2))
+        & (li["l_quantity"] < quantity)
+    )
+    li = li.filter(mask)
+    li = li.with_columns(revenue=li["l_extendedprice"] * li["l_discount"])
+    return li.group_by().agg(revenue=("revenue", "sum"))
+
+
+def q07(src, nation1: str = "FRANCE", nation2: str = "GERMANY") -> Relation:
+    """Volume shipping between two nations."""
+    nation = src.scan("nation", ["n_nationkey", "n_name"])
+    nation = nation.filter(fn.isin(nation["n_name"], {nation1, nation2}))
+    supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
+    supp = supp.join(
+        nation.rename(n_name="supp_nation"),
+        left_on="s_nationkey", right_on="n_nationkey",
+    )
+    cust = src.scan("customer", ["c_custkey", "c_nationkey"])
+    cust = cust.join(
+        nation.rename(n_name="cust_nation"),
+        left_on="c_nationkey", right_on="n_nationkey",
+    )
+    orders = src.scan("orders", ["o_orderkey", "o_custkey"])
+    orders = orders.join(cust, left_on="o_custkey", right_on="c_custkey")
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_shipdate", "l_extendedprice",
+         "l_discount"],
+    )
+    li = li.filter(
+        (li["l_shipdate"] >= D(1995, 1, 1))
+        & (li["l_shipdate"] <= D(1996, 12, 31))
+    )
+    joined = li.join(supp, left_on="l_suppkey", right_on="s_suppkey")
+    joined = joined.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    cross = (
+        (joined["supp_nation"] == nation1) & (joined["cust_nation"] == nation2)
+    ) | (
+        (joined["supp_nation"] == nation2) & (joined["cust_nation"] == nation1)
+    )
+    joined = joined.filter(cross)
+    joined = joined.with_columns(
+        l_year=fn.year_of(joined["l_shipdate"]),
+        volume=joined["l_extendedprice"] * (1 - joined["l_discount"]),
+    )
+    out = joined.group_by("supp_nation", "cust_nation", "l_year").agg(
+        revenue=("volume", "sum")
+    )
+    return out.order_by("supp_nation", "cust_nation", "l_year")
+
+
+def q08(src, nation: str = "BRAZIL", region: str = "AMERICA",
+        ptype: str = "ECONOMY ANODIZED STEEL") -> Relation:
+    """National market share."""
+    part = src.scan("part", ["p_partkey", "p_type"])
+    part = part.filter(part["p_type"] == ptype)
+    reg = src.scan("region", ["r_regionkey", "r_name"])
+    reg = reg.filter(reg["r_name"] == region)
+    nations = src.scan("nation", ["n_nationkey", "n_name", "n_regionkey"])
+    cust_nation = nations.join(
+        reg, left_on="n_regionkey", right_on="r_regionkey"
+    )
+    cust = src.scan("customer", ["c_custkey", "c_nationkey"])
+    cust = cust.join(
+        cust_nation, left_on="c_nationkey", right_on="n_nationkey",
+        how="semi",
+    )
+    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = orders.filter(
+        (orders["o_orderdate"] >= D(1995, 1, 1))
+        & (orders["o_orderdate"] <= D(1996, 12, 31))
+    )
+    orders = orders.join(cust, left_on="o_custkey", right_on="c_custkey",
+                         how="semi")
+    supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
+    supp = supp.join(
+        nations.rename(n_name="supp_nation").select(
+            "n_nationkey", "supp_nation"
+        ),
+        left_on="s_nationkey", right_on="n_nationkey",
+    )
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_partkey", "l_suppkey", "l_extendedprice",
+         "l_discount"],
+    )
+    joined = li.join(part, left_on="l_partkey", right_on="p_partkey",
+                     how="semi")
+    joined = joined.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.join(supp, left_on="l_suppkey", right_on="s_suppkey")
+    joined = joined.with_columns(
+        o_year=fn.year_of(joined["o_orderdate"]),
+        volume=joined["l_extendedprice"] * (1 - joined["l_discount"]),
+    )
+    joined = joined.with_columns(
+        nation_volume=np.where(
+            joined["supp_nation"] == nation, joined["volume"], 0.0
+        )
+    )
+    out = joined.group_by("o_year").agg(
+        total=("volume", "sum"), national=("nation_volume", "sum")
+    )
+    out = out.with_columns(
+        mkt_share=out["national"] / np.maximum(out["total"], 1e-12)
+    )
+    return out.select("o_year", "mkt_share").order_by("o_year")
+
+
+def q09(src, color: str = "green") -> Relation:
+    """Product type profit measure."""
+    part = src.scan("part", ["p_partkey", "p_name"])
+    part = part.filter(fn.contains(part["p_name"], color))
+    supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
+    nations = src.scan("nation", ["n_nationkey", "n_name"])
+    supp = supp.join(nations, left_on="s_nationkey", right_on="n_nationkey")
+    ps = src.scan("partsupp", ["ps_partkey", "ps_suppkey", "ps_supplycost"])
+    orders = src.scan("orders", ["o_orderkey", "o_orderdate"])
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_partkey", "l_suppkey", "l_quantity",
+         "l_extendedprice", "l_discount"],
+    )
+    joined = li.join(part, left_on="l_partkey", right_on="p_partkey",
+                     how="semi")
+    joined = joined.join(supp, left_on="l_suppkey", right_on="s_suppkey")
+    joined = joined.join(
+        ps, left_on=["l_partkey", "l_suppkey"],
+        right_on=["ps_partkey", "ps_suppkey"],
+    )
+    joined = joined.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    joined = joined.with_columns(
+        o_year=fn.year_of(joined["o_orderdate"]),
+        amount=joined["l_extendedprice"] * (1 - joined["l_discount"])
+        - joined["ps_supplycost"] * joined["l_quantity"],
+    )
+    out = joined.group_by("n_name", "o_year").agg(
+        sum_profit=("amount", "sum")
+    )
+    return out.order_by(("n_name", "asc"), ("o_year", "desc"))
+
+
+def q10(src, date: int | None = None) -> Relation:
+    """Returned item reporting."""
+    date = D(1993, 10, 1) if date is None else date
+    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = orders.filter(
+        (orders["o_orderdate"] >= date)
+        & (orders["o_orderdate"] < fn.add_months(date, 3))
+    )
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+    )
+    li = li.filter(li["l_returnflag"] == "R")
+    joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    cust = src.scan(
+        "customer",
+        ["c_custkey", "c_name", "c_acctbal", "c_phone", "c_nationkey",
+         "c_address", "c_comment"],
+    )
+    joined = joined.join(cust, left_on="o_custkey", right_on="c_custkey")
+    nations = src.scan("nation", ["n_nationkey", "n_name"])
+    joined = joined.join(nations, left_on="c_nationkey",
+                         right_on="n_nationkey")
+    joined = joined.with_columns(
+        revenue=joined["l_extendedprice"] * (1 - joined["l_discount"])
+    )
+    out = joined.group_by(
+        "c_custkey", "c_name", "c_acctbal", "c_phone", "n_name", "c_address",
+        "c_comment",
+    ).agg(revenue=("revenue", "sum"))
+    return out.order_by(("revenue", "desc"), ("c_custkey", "asc")).limit(20)
+
+
+def q11(src, nation: str = "GERMANY", fraction: float = 0.0001) -> Relation:
+    """Important stock identification (touches no updated tables)."""
+    nations = src.scan("nation", ["n_nationkey", "n_name"])
+    nations = nations.filter(nations["n_name"] == nation)
+    supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
+    supp = supp.join(nations, left_on="s_nationkey", right_on="n_nationkey",
+                     how="semi")
+    ps = src.scan(
+        "partsupp", ["ps_partkey", "ps_suppkey", "ps_availqty",
+                     "ps_supplycost"],
+    )
+    ps = ps.join(supp, left_on="ps_suppkey", right_on="s_suppkey",
+                 how="semi")
+    ps = ps.with_columns(value=ps["ps_supplycost"] * ps["ps_availqty"])
+    total = float(ps.group_by().agg(v=("value", "sum"))["v"][0])
+    out = ps.group_by("ps_partkey").agg(value=("value", "sum"))
+    out = out.filter(out["value"] > total * fraction)
+    return out.order_by(("value", "desc"))
+
+
+def q12(src, mode1: str = "MAIL", mode2: str = "SHIP",
+        date: int | None = None) -> Relation:
+    """Shipping modes and order priority."""
+    date = D(1994, 1, 1) if date is None else date
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
+         "l_shipdate"],
+    )
+    li = li.filter(
+        fn.isin(li["l_shipmode"], {mode1, mode2})
+        & (li["l_commitdate"] < li["l_receiptdate"])
+        & (li["l_shipdate"] < li["l_commitdate"])
+        & (li["l_receiptdate"] >= date)
+        & (li["l_receiptdate"] < fn.add_years(date, 1))
+    )
+    orders = src.scan("orders", ["o_orderkey", "o_orderpriority"])
+    joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
+    high = fn.isin(
+        joined["o_orderpriority"], {"1-URGENT", "2-HIGH"}
+    ).astype(np.int64)
+    joined = joined.with_columns(high_line=high, low_line=1 - high)
+    out = joined.group_by("l_shipmode").agg(
+        high_line_count=("high_line", "sum"),
+        low_line_count=("low_line", "sum"),
+    )
+    return out.order_by("l_shipmode")
+
+
+def q13(src, word1: str = "special", word2: str = "requests") -> Relation:
+    """Customer distribution."""
+    cust = src.scan("customer", ["c_custkey"])
+    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_comment"])
+    orders = orders.filter(
+        ~fn.like(orders["o_comment"], f"%{word1}%{word2}%")
+    )
+    joined = cust.join(orders, left_on="c_custkey", right_on="o_custkey",
+                       how="left")
+    joined = joined.with_columns(
+        has_order=joined["_matched"].astype(np.int64)
+    )
+    per_customer = joined.group_by("c_custkey").agg(
+        c_count=("has_order", "sum")
+    )
+    out = per_customer.group_by("c_count").agg(custdist=("*", "count"))
+    return out.order_by(("custdist", "desc"), ("c_count", "desc"))
+
+
+def q14(src, date: int | None = None) -> Relation:
+    """Promotion effect."""
+    date = D(1995, 9, 1) if date is None else date
+    li = src.scan(
+        "lineitem",
+        ["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+    )
+    li = li.filter(
+        (li["l_shipdate"] >= date)
+        & (li["l_shipdate"] < fn.add_months(date, 1))
+    )
+    part = src.scan("part", ["p_partkey", "p_type"])
+    joined = li.join(part, left_on="l_partkey", right_on="p_partkey")
+    revenue = joined["l_extendedprice"] * (1 - joined["l_discount"])
+    promo = np.where(
+        fn.starts_with(joined["p_type"], "PROMO"), revenue, 0.0
+    )
+    joined = joined.with_columns(revenue=revenue, promo=promo)
+    out = joined.group_by().agg(
+        promo=("promo", "sum"), total=("revenue", "sum")
+    )
+    return out.with_columns(
+        promo_revenue=100.0 * out["promo"]
+        / np.maximum(out["total"], 1e-12)
+    ).select("promo_revenue")
+
+
+def q15(src, date: int | None = None) -> Relation:
+    """Top supplier (the revenue view, then max)."""
+    date = D(1996, 1, 1) if date is None else date
+    li = src.scan(
+        "lineitem",
+        ["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+    )
+    li = li.filter(
+        (li["l_shipdate"] >= date)
+        & (li["l_shipdate"] < fn.add_months(date, 3))
+    )
+    li = li.with_columns(
+        revenue=li["l_extendedprice"] * (1 - li["l_discount"])
+    )
+    view = li.group_by("l_suppkey").agg(total_revenue=("revenue", "sum"))
+    if view.num_rows == 0:
+        return view
+    best = float(view.group_by().agg(m=("total_revenue", "max"))["m"][0])
+    view = view.filter(np.isclose(view["total_revenue"], best))
+    supp = src.scan(
+        "supplier", ["s_suppkey", "s_name", "s_address", "s_phone"]
+    )
+    out = supp.join(view, left_on="s_suppkey", right_on="l_suppkey")
+    return out.select(
+        "s_suppkey", "s_name", "s_address", "s_phone", "total_revenue"
+    ).order_by("s_suppkey")
+
+
+def q16(src, brand: str = "Brand#45", type_prefix: str = "MEDIUM POLISHED",
+        sizes=(49, 14, 23, 45, 19, 3, 36, 9)) -> Relation:
+    """Parts/supplier relationship (touches no updated tables)."""
+    part = src.scan("part", ["p_partkey", "p_brand", "p_type", "p_size"])
+    part = part.filter(
+        (part["p_brand"] != brand)
+        & ~fn.starts_with(part["p_type"], type_prefix)
+        & fn.isin(part["p_size"], set(sizes))
+    )
+    supp = src.scan("supplier", ["s_suppkey", "s_comment"])
+    complainers = supp.filter(
+        fn.like(supp["s_comment"], "%Customer%Complaints%")
+    )
+    ps = src.scan("partsupp", ["ps_partkey", "ps_suppkey"])
+    ps = ps.join(complainers, left_on="ps_suppkey", right_on="s_suppkey",
+                 how="anti")
+    joined = ps.join(part, left_on="ps_partkey", right_on="p_partkey")
+    out = joined.group_by("p_brand", "p_type", "p_size").agg(
+        supplier_cnt=("ps_suppkey", "count_distinct")
+    )
+    return out.order_by(
+        ("supplier_cnt", "desc"), ("p_brand", "asc"), ("p_type", "asc"),
+        ("p_size", "asc"),
+    )
+
+
+def q17(src, brand: str = "Brand#23", container: str = "MED BOX") -> Relation:
+    """Small-quantity-order revenue."""
+    part = src.scan("part", ["p_partkey", "p_brand", "p_container"])
+    part = part.filter(
+        (part["p_brand"] == brand) & (part["p_container"] == container)
+    )
+    li = src.scan("lineitem", ["l_partkey", "l_quantity", "l_extendedprice"])
+    joined = li.join(part, left_on="l_partkey", right_on="p_partkey",
+                     how="semi")
+    if joined.num_rows == 0:
+        return Relation({"avg_yearly": np.zeros(1)})
+    averages = joined.group_by("l_partkey").agg(avg_qty=("l_quantity", "avg"))
+    joined = joined.join(averages, left_on="l_partkey")
+    joined = joined.filter(
+        joined["l_quantity"] < 0.2 * joined["avg_qty"]
+    )
+    out = joined.group_by().agg(total=("l_extendedprice", "sum"))
+    return out.with_columns(
+        avg_yearly=out["total"] / 7.0
+    ).select("avg_yearly")
+
+
+def q18(src, quantity: int = 300) -> Relation:
+    """Large volume customers."""
+    li = src.scan("lineitem", ["l_orderkey", "l_quantity"])
+    per_order = li.group_by("l_orderkey").agg(sum_qty=("l_quantity", "sum"))
+    big = per_order.filter(per_order["sum_qty"] > quantity)
+    orders = src.scan(
+        "orders", ["o_orderkey", "o_custkey", "o_orderdate", "o_totalprice"]
+    )
+    orders = orders.join(big, left_on="o_orderkey", right_on="l_orderkey")
+    cust = src.scan("customer", ["c_custkey", "c_name"])
+    out = orders.join(cust, left_on="o_custkey", right_on="c_custkey")
+    out = out.select(
+        "c_name", "c_custkey", "o_orderkey", "o_orderdate", "o_totalprice",
+        "sum_qty",
+    )
+    return out.order_by(
+        ("o_totalprice", "desc"), ("o_orderdate", "asc")
+    ).limit(100)
+
+
+def q19(src, brand1: str = "Brand#12", brand2: str = "Brand#23",
+        brand3: str = "Brand#34", qty1: int = 1, qty2: int = 10,
+        qty3: int = 20) -> Relation:
+    """Discounted revenue (three branded OR conditions)."""
+    li = src.scan(
+        "lineitem",
+        ["l_partkey", "l_quantity", "l_extendedprice", "l_discount",
+         "l_shipmode", "l_shipinstruct"],
+    )
+    li = li.filter(
+        fn.isin(li["l_shipmode"], {"AIR", "REG AIR"})
+        & (li["l_shipinstruct"] == "DELIVER IN PERSON")
+    )
+    part = src.scan(
+        "part", ["p_partkey", "p_brand", "p_container", "p_size"]
+    )
+    joined = li.join(part, left_on="l_partkey", right_on="p_partkey")
+    p = joined
+    branch1 = (
+        (p["p_brand"] == brand1)
+        & fn.isin(p["p_container"], {"SM CASE", "SM BOX", "SM PACK",
+                                     "SM PKG"})
+        & (p["l_quantity"] >= qty1) & (p["l_quantity"] <= qty1 + 10)
+        & (p["p_size"] >= 1) & (p["p_size"] <= 5)
+    )
+    branch2 = (
+        (p["p_brand"] == brand2)
+        & fn.isin(p["p_container"], {"MED BAG", "MED BOX", "MED PKG",
+                                     "MED PACK"})
+        & (p["l_quantity"] >= qty2) & (p["l_quantity"] <= qty2 + 10)
+        & (p["p_size"] >= 1) & (p["p_size"] <= 10)
+    )
+    branch3 = (
+        (p["p_brand"] == brand3)
+        & fn.isin(p["p_container"], {"LG CASE", "LG BOX", "LG PACK",
+                                     "LG PKG"})
+        & (p["l_quantity"] >= qty3) & (p["l_quantity"] <= qty3 + 10)
+        & (p["p_size"] >= 1) & (p["p_size"] <= 15)
+    )
+    joined = joined.filter(branch1 | branch2 | branch3)
+    joined = joined.with_columns(
+        revenue=joined["l_extendedprice"] * (1 - joined["l_discount"])
+    )
+    return joined.group_by().agg(revenue=("revenue", "sum"))
+
+
+def q20(src, color: str = "forest", date: int | None = None,
+        nation: str = "CANADA") -> Relation:
+    """Potential part promotion."""
+    date = D(1994, 1, 1) if date is None else date
+    part = src.scan("part", ["p_partkey", "p_name"])
+    part = part.filter(fn.starts_with(part["p_name"], color))
+    li = src.scan(
+        "lineitem", ["l_partkey", "l_suppkey", "l_shipdate", "l_quantity"]
+    )
+    li = li.filter(
+        (li["l_shipdate"] >= date)
+        & (li["l_shipdate"] < fn.add_years(date, 1))
+    )
+    shipped = li.group_by("l_partkey", "l_suppkey").agg(
+        qty=("l_quantity", "sum")
+    )
+    ps = src.scan("partsupp", ["ps_partkey", "ps_suppkey", "ps_availqty"])
+    ps = ps.join(part, left_on="ps_partkey", right_on="p_partkey",
+                 how="semi")
+    ps = ps.join(
+        shipped, left_on=["ps_partkey", "ps_suppkey"],
+        right_on=["l_partkey", "l_suppkey"],
+    )
+    ps = ps.filter(ps["ps_availqty"] > 0.5 * ps["qty"])
+    nations = src.scan("nation", ["n_nationkey", "n_name"])
+    nations = nations.filter(nations["n_name"] == nation)
+    supp = src.scan("supplier", ["s_suppkey", "s_name", "s_address",
+                                 "s_nationkey"])
+    supp = supp.join(nations, left_on="s_nationkey", right_on="n_nationkey",
+                     how="semi")
+    out = supp.join(ps, left_on="s_suppkey", right_on="ps_suppkey",
+                    how="semi")
+    return out.select("s_name", "s_address").order_by("s_name")
+
+
+def q21(src, nation: str = "SAUDI ARABIA") -> Relation:
+    """Suppliers who kept orders waiting."""
+    li = src.scan(
+        "lineitem",
+        ["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
+    )
+    orders = src.scan("orders", ["o_orderkey", "o_orderstatus"])
+    failed = orders.filter(orders["o_orderstatus"] == "F")
+    li = li.join(failed, left_on="l_orderkey", right_on="o_orderkey",
+                 how="semi")
+    late = li.filter(li["l_receiptdate"] > li["l_commitdate"])
+
+    # Orders with lines from more than one supplier...
+    suppliers_per_order = li.distinct("l_orderkey", "l_suppkey").group_by(
+        "l_orderkey"
+    ).agg(n_supp=("*", "count"))
+    multi = suppliers_per_order.filter(suppliers_per_order["n_supp"] > 1)
+    # ... where exactly one supplier was late.
+    late_per_order = late.distinct("l_orderkey", "l_suppkey").group_by(
+        "l_orderkey"
+    ).agg(n_late=("*", "count"))
+    one_late = late_per_order.filter(late_per_order["n_late"] == 1)
+
+    candidate = late.join(multi, left_on="l_orderkey", how="semi")
+    candidate = candidate.join(one_late, left_on="l_orderkey", how="semi")
+
+    nations = src.scan("nation", ["n_nationkey", "n_name"])
+    nations = nations.filter(nations["n_name"] == nation)
+    supp = src.scan("supplier", ["s_suppkey", "s_name", "s_nationkey"])
+    supp = supp.join(nations, left_on="s_nationkey", right_on="n_nationkey",
+                     how="semi")
+    joined = candidate.join(supp, left_on="l_suppkey", right_on="s_suppkey")
+    out = joined.group_by("s_name").agg(numwait=("*", "count"))
+    return out.order_by(("numwait", "desc"), ("s_name", "asc")).limit(100)
+
+
+def q22(src, codes=("13", "31", "23", "29", "30", "18", "17")) -> Relation:
+    """Global sales opportunity."""
+    cust = src.scan("customer", ["c_custkey", "c_phone", "c_acctbal"])
+    cust = cust.with_columns(cntrycode=fn.substring(cust["c_phone"], 1, 2))
+    cust = cust.filter(fn.isin(cust["cntrycode"], set(codes)))
+    positive = cust.filter(cust["c_acctbal"] > 0.0)
+    if positive.num_rows == 0:
+        return Relation(
+            {"cntrycode": np.empty(0, dtype=object),
+             "numcust": np.empty(0, dtype=np.int64),
+             "totacctbal": np.empty(0, dtype=np.float64)}
+        )
+    avg_bal = float(
+        positive.group_by().agg(a=("c_acctbal", "avg"))["a"][0]
+    )
+    rich = cust.filter(cust["c_acctbal"] > avg_bal)
+    orders = src.scan("orders", ["o_custkey"])
+    rich = rich.join(orders, left_on="c_custkey", right_on="o_custkey",
+                     how="anti")
+    out = rich.group_by("cntrycode").agg(
+        numcust=("*", "count"), totacctbal=("c_acctbal", "sum")
+    )
+    return out.order_by("cntrycode")
+
+
+ALL_QUERIES = {
+    1: q01, 2: q02, 3: q03, 4: q04, 5: q05, 6: q06, 7: q07, 8: q08,
+    9: q09, 10: q10, 11: q11, 12: q12, 13: q13, 14: q14, 15: q15, 16: q16,
+    17: q17, 18: q18, 19: q19, 20: q20, 21: q21, 22: q22,
+}
+
+#: Queries that never scan orders/lineitem (identical across run modes).
+NON_UPDATED_QUERIES = (2, 11, 16)
+
+
+def run_query(number: int, src, **params) -> Relation:
+    """Run TPC-H query ``number`` against a scan source."""
+    try:
+        query = ALL_QUERIES[number]
+    except KeyError:
+        raise ValueError(f"no TPC-H query {number}") from None
+    return query(src, **params)

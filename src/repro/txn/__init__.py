@@ -1,0 +1,24 @@
+"""PDT-based ACID transaction management (paper section 3.3)."""
+
+from .checkpoint import checkpoint_all, checkpoint_table, delta_memory_usage
+from .manager import ManagerStats, TableState, TransactionManager
+from .recovery import recover_database, recover_manager
+from .transaction import Transaction, TransactionError, TxnStatus
+from .wal import WalRecord, WriteAheadLog, replay_into
+
+__all__ = [
+    "ManagerStats",
+    "TableState",
+    "Transaction",
+    "TransactionError",
+    "TransactionManager",
+    "TxnStatus",
+    "WalRecord",
+    "WriteAheadLog",
+    "checkpoint_all",
+    "checkpoint_table",
+    "delta_memory_usage",
+    "recover_database",
+    "recover_manager",
+    "replay_into",
+]

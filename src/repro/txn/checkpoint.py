@@ -1,0 +1,65 @@
+"""Checkpointing: folding accumulated deltas back into stable storage.
+
+When the RAM-resident differential structures grow too large (or on a
+schedule), a new stable table image is materialized with all updates
+applied, the Read-PDT is emptied, and query processing switches over
+(paper section 2, "Checkpointing"). SIDs are renumbered by this operation
+— the only event in a tuple's lifetime that changes its SID — so the
+sparse index is rebuilt and the WAL can be truncated.
+"""
+
+from __future__ import annotations
+
+from ..core.pdt import PDT
+from ..core.stack import image_rows
+from ..storage.sparse_index import SparseIndex
+from ..storage.table import StableTable
+from .manager import TransactionManager
+from .transaction import TransactionError
+
+
+def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
+    """Materialize merge(stable, Read, Write) as the new stable image.
+
+    Requires a quiescent point (no running transactions). Returns the new
+    stable table; the manager's state is switched over in place and the
+    WAL truncated once every table's deltas are either checkpointed or
+    still empty.
+    """
+    if manager.running_count():
+        raise TransactionError("checkpoint requires no running transactions")
+    state = manager.state_of(table)
+    rows = image_rows(state.stable, [state.read_pdt, state.write_pdt])
+    pool = state.stable.pool
+    new_stable = StableTable.bulk_load(table, state.schema, rows)
+    if pool is not None:
+        pool.store.drop_table(table)
+        new_stable.attach_storage(pool)
+        pool.clear()
+    state.stable = new_stable
+    state.read_pdt = PDT(state.schema)
+    state.write_pdt = PDT(state.schema)
+    state.sparse_index = SparseIndex(new_stable, manager.sparse_granularity)
+    manager._snapshot_cache.pop(table, None)
+    _truncate_wal_if_clean(manager)
+    return new_stable
+
+
+def checkpoint_all(manager: TransactionManager) -> None:
+    for name in manager.table_names():
+        checkpoint_table(manager, name)
+
+
+def _truncate_wal_if_clean(manager: TransactionManager) -> None:
+    """Drop the WAL when no table still carries un-checkpointed deltas."""
+    for name in manager.table_names():
+        state = manager.state_of(name)
+        if not (state.read_pdt.is_empty() and state.write_pdt.is_empty()):
+            return
+    manager.wal.truncate()
+
+
+def delta_memory_usage(manager: TransactionManager, table: str) -> int:
+    """Bytes of RAM-resident delta state for checkpoint-threshold policies."""
+    state = manager.state_of(table)
+    return state.read_pdt.memory_usage() + state.write_pdt.memory_usage()

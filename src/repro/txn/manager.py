@@ -1,0 +1,246 @@
+"""Transaction manager: snapshot isolation with optimistic concurrency.
+
+Implements Algorithm 9 (Finish/Commit/Abort): a committing transaction's
+Trans-PDT is Serialized against every overlapping committed transaction in
+commit order (detecting write-write conflicts), then Propagated into the
+master Write-PDT. Serialized Trans-PDTs of recent commits are kept in the
+``TZ`` set with a reference count of still-running overlapping
+transactions, exactly as in the paper's Figure 15 walkthrough.
+
+No locks are taken anywhere on the read path: queries run against shared
+Read-PDTs and private Write-PDT snapshot copies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.pdt import PDT
+from ..core.propagate import propagate
+from ..core.serialize import serialize
+from ..core.types import TransactionConflict
+from ..storage.sparse_index import SparseIndex
+from ..storage.table import StableTable
+from .transaction import Transaction, TransactionError, TxnStatus
+from .wal import WriteAheadLog
+
+
+@dataclass
+class TableState:
+    """Per-table storage + delta layers managed by the manager."""
+
+    stable: StableTable
+    read_pdt: PDT
+    write_pdt: PDT
+    sparse_index: SparseIndex | None = None
+    last_commit_lsn: int = 0
+
+    @property
+    def schema(self):
+        return self.stable.schema
+
+
+@dataclass
+class _CommitRecord:
+    """A recently committed transaction kept for overlap serialization."""
+
+    lsn: int
+    tables: dict  # table -> serialized Trans-PDT (consecutive at this lsn)
+    refcnt: int = 0
+
+
+@dataclass
+class ManagerStats:
+    commits: int = 0
+    aborts: int = 0
+    conflicts: int = 0
+    propagations: int = 0
+    snapshot_copies: int = 0
+    snapshot_reuses: int = 0
+
+
+class TransactionManager:
+    """Lock-free transaction management over PDT-layered tables."""
+
+    def __init__(self, wal: WriteAheadLog | None = None,
+                 sparse_granularity: int = 4096):
+        self._tables: dict[str, TableState] = {}
+        self._running: dict[int, Transaction] = {}
+        self._tz: list[_CommitRecord] = []
+        self._lsn = 0
+        self._next_txn_id = 1
+        self._snapshot_cache: dict[str, tuple[int, PDT]] = {}
+        self.wal = wal if wal is not None else WriteAheadLog()
+        self.sparse_granularity = sparse_granularity
+        self.stats = ManagerStats()
+
+    # -- table registry ---------------------------------------------------------
+
+    def register_table(self, stable: StableTable) -> TableState:
+        if stable.name in self._tables:
+            raise ValueError(f"table {stable.name!r} already registered")
+        state = TableState(
+            stable=stable,
+            read_pdt=PDT(stable.schema),
+            write_pdt=PDT(stable.schema),
+            sparse_index=SparseIndex(stable, self.sparse_granularity),
+        )
+        self._tables[stable.name] = state
+        return state
+
+    def state_of(self, table: str) -> TableState:
+        try:
+            return self._tables[table]
+        except KeyError:
+            raise KeyError(f"unknown table {table!r}") from None
+
+    def table_names(self) -> list[str]:
+        return list(self._tables)
+
+    # -- snapshots ---------------------------------------------------------------
+
+    def write_snapshot(self, table: str, start_lsn: int):
+        """Write-PDT copy as of ``start_lsn`` (None when it was empty).
+
+        Copies are shared between transactions that started under the same
+        table version — "copying is not always required" (section 3.3).
+        """
+        state = self.state_of(table)
+        if state.last_commit_lsn > start_lsn:
+            raise TransactionError(
+                f"snapshot of {table!r} requested after a newer commit; "
+                f"snapshots must be pinned at transaction start"
+            )
+        if state.write_pdt.is_empty():
+            return None
+        cached = self._snapshot_cache.get(table)
+        if cached is not None and cached[0] == state.last_commit_lsn:
+            self.stats.snapshot_reuses += 1
+            return cached[1]
+        snapshot = state.write_pdt.copy()
+        self._snapshot_cache[table] = (state.last_commit_lsn, snapshot)
+        self.stats.snapshot_copies += 1
+        return snapshot
+
+    # -- transaction lifecycle ------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        txn = Transaction(self, self._next_txn_id, start_lsn=self._lsn)
+        self._next_txn_id += 1
+        self._running[txn.txn_id] = txn
+        # Pin non-empty write-PDT snapshots now: later commits must not
+        # leak into this transaction's view.
+        for name, state in self._tables.items():
+            if not state.write_pdt.is_empty():
+                txn._snapshots[name] = self.write_snapshot(
+                    name, txn.start_lsn
+                )
+            # Empty write-PDTs are pinned lazily as None-or-copy; record
+            # emptiness eagerly for correctness:
+            else:
+                txn._snapshots[name] = None
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Finish(ok=True): serialize against overlaps, then propagate."""
+        self._finish(txn, ok=True)
+
+    def abort(self, txn: Transaction) -> None:
+        """Finish(ok=False): release overlap references, discard updates."""
+        self._finish(txn, ok=False)
+
+    def _finish(self, txn: Transaction, ok: bool) -> None:
+        if txn.txn_id not in self._running:
+            raise TransactionError(f"transaction {txn.txn_id} not running")
+        trans_pdts = {
+            name: pdt for name, pdt in txn._trans.items() if not pdt.is_empty()
+        }
+        conflict: TransactionConflict | None = None
+        for record in list(self._tz):
+            if record.lsn <= txn.start_lsn:
+                continue  # committed before txn started: no overlap
+            if ok and conflict is None:
+                try:
+                    for name, committed_pdt in record.tables.items():
+                        if name in trans_pdts:
+                            trans_pdts[name] = serialize(
+                                trans_pdts[name], committed_pdt
+                            )
+                except TransactionConflict as exc:
+                    conflict = exc
+                    self.stats.conflicts += 1
+            record.refcnt -= 1
+            if record.refcnt == 0:
+                self._tz.remove(record)
+        del self._running[txn.txn_id]
+
+        if not ok or conflict is not None:
+            txn.status = TxnStatus.ABORTED
+            self.stats.aborts += 1
+            if conflict is not None:
+                raise conflict
+            return
+
+        if trans_pdts:
+            self._lsn += 1
+            for name, pdt in trans_pdts.items():
+                state = self.state_of(name)
+                propagate(state.write_pdt, pdt)
+                state.last_commit_lsn = self._lsn
+                self.stats.propagations += 1
+            self.wal.append_commit(self._lsn, trans_pdts)
+            if self._running:
+                self._tz.append(
+                    _CommitRecord(
+                        lsn=self._lsn,
+                        tables=trans_pdts,
+                        refcnt=len(self._running),
+                    )
+                )
+        txn.status = TxnStatus.COMMITTED
+        self.stats.commits += 1
+
+    # -- reads outside transactions ---------------------------------------------------
+
+    def latest_layers(self, table: str) -> list[PDT]:
+        """Read/Write layer stack reflecting the latest committed state."""
+        state = self.state_of(table)
+        return [state.read_pdt, state.write_pdt]
+
+    def running_count(self) -> int:
+        return len(self._running)
+
+    def tz_size(self) -> int:
+        return len(self._tz)
+
+    # -- maintenance -------------------------------------------------------------------
+
+    def propagate_write_to_read(self, table: str) -> None:
+        """Migrate the master Write-PDT into the Read-PDT (section 3.3).
+
+        Requires a quiescent point: running transactions hold Write-PDT
+        snapshot copies whose contents would be double-applied if the
+        shared Read-PDT absorbed them mid-flight.
+        """
+        if self._running:
+            raise TransactionError(
+                "write->read propagation requires no running transactions"
+            )
+        state = self.state_of(table)
+        if state.write_pdt.is_empty():
+            return
+        propagate(state.read_pdt, state.write_pdt)
+        state.write_pdt = PDT(state.schema)
+        self._snapshot_cache.pop(table, None)
+        self.stats.propagations += 1
+
+    def maybe_propagate(self, table: str, write_limit_bytes: int) -> bool:
+        """Propagate Write->Read when the Write-PDT outgrows its budget
+        (the paper keeps it smaller than the CPU cache)."""
+        state = self.state_of(table)
+        if state.write_pdt.memory_usage() <= write_limit_bytes:
+            return False
+        if self._running:
+            return False
+        self.propagate_write_to_read(table)
+        return True

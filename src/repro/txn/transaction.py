@@ -1,0 +1,176 @@
+"""Transactions over snapshot-isolated, three-layer PDT stacks.
+
+A transaction sees (equation (9))::
+
+    TABLE = stable .Merge(Read-PDT) .Merge(Write-PDT snapshot) .Merge(Trans-PDT)
+
+The Read-PDT is shared by reference (only Propagate mutates it, and only
+when no snapshots are live); the Write-PDT snapshot is a copy taken at
+transaction start (shared between transactions that started under the same
+commit LSN); the Trans-PDT is private and collects this transaction's own
+updates, so later queries in the transaction see its earlier effects.
+
+An optional fourth *Query-PDT* layer (paper footnote 5) buffers the updates
+of a single statement so the statement does not see its own changes
+(Halloween protection); it is folded into the Trans-PDT when the statement
+finishes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..core.pdt import PDT
+from ..core.propagate import propagate
+from ..db.update_processor import PositionalUpdater
+from ..engine.relation import Relation
+from ..engine.scan import scan_pdt
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class TransactionError(RuntimeError):
+    """Operation on a transaction in the wrong state."""
+
+
+class Transaction:
+    """One snapshot-isolated transaction; created by the manager."""
+
+    def __init__(self, manager, txn_id: int, start_lsn: int):
+        self._manager = manager
+        self.txn_id = txn_id
+        self.start_lsn = start_lsn
+        self.status = TxnStatus.ACTIVE
+        self._snapshots: dict = {}  # table -> write-PDT snapshot (or None)
+        self._trans: dict[str, PDT] = {}  # table -> Trans-PDT
+        self._query: dict[str, PDT] | None = None  # Query-PDT layer
+
+    # -- layer plumbing ------------------------------------------------------
+
+    def _read_layers(self, table: str) -> list:
+        state = self._manager.state_of(table)
+        layers = [state.read_pdt]
+        snapshot = self._snapshot(table)
+        if snapshot is not None:
+            layers.append(snapshot)
+        if table in self._trans:
+            layers.append(self._trans[table])
+        return layers
+
+    def _update_layers(self, table: str) -> list:
+        layers = self._read_layers(table)
+        if table not in self._trans:
+            self._trans[table] = PDT(self._manager.state_of(table).schema)
+            layers.append(self._trans[table])
+        if self._query is not None:
+            pdt = self._query.setdefault(
+                table, PDT(self._manager.state_of(table).schema)
+            )
+            layers.append(pdt)
+        return layers
+
+    def _snapshot(self, table: str):
+        if table not in self._snapshots:
+            self._snapshots[table] = self._manager.write_snapshot(
+                table, self.start_lsn
+            )
+        return self._snapshots[table]
+
+    def _updater(self, table: str) -> PositionalUpdater:
+        state = self._manager.state_of(table)
+        return PositionalUpdater(
+            state.stable, self._update_layers(table), state.sparse_index
+        )
+
+    def _require_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionError(
+                f"transaction {self.txn_id} is {self.status.value}"
+            )
+
+    # -- reads ----------------------------------------------------------------
+
+    def scan(self, table: str, columns=None, batch_rows: int = 4096
+             ) -> Relation:
+        """Snapshot-consistent scan (sees this transaction's own updates)."""
+        self._require_active()
+        state = self._manager.state_of(table)
+        return scan_pdt(state.stable, self._read_layers(table),
+                        columns=columns, batch_rows=batch_rows)
+
+    def image_rows(self, table: str) -> list[tuple]:
+        """Full current image as tuples (testing convenience)."""
+        from ..core.stack import image_rows
+
+        self._require_active()
+        state = self._manager.state_of(table)
+        return image_rows(state.stable, self._read_layers(table))
+
+    # -- writes ---------------------------------------------------------------
+
+    def insert(self, table: str, row) -> int:
+        self._require_active()
+        return self._updater(table).insert(row)
+
+    def delete(self, table: str, sk) -> int:
+        self._require_active()
+        return self._updater(table).delete_by_key(sk)
+
+    def modify(self, table: str, sk, column: str, value) -> int:
+        self._require_active()
+        return self._updater(table).modify_by_key(sk, column, value)
+
+    def delete_at(self, table: str, rid: int, sk) -> None:
+        self._require_active()
+        self._updater(table).delete_at(rid, sk)
+
+    def modify_at(self, table: str, rid: int, column: str, value) -> None:
+        self._require_active()
+        self._updater(table).modify_at(rid, column, value)
+
+    # -- query-level isolation (footnote 5) -------------------------------------
+
+    def begin_query(self) -> None:
+        """Route subsequent updates into a private Query-PDT so the running
+        statement does not observe its own changes."""
+        self._require_active()
+        if self._query is not None:
+            raise TransactionError("query scope already open")
+        self._query = {}
+
+    def end_query(self) -> None:
+        """Fold the Query-PDT into the Trans-PDT."""
+        if self._query is None:
+            raise TransactionError("no query scope open")
+        for table, qpdt in self._query.items():
+            if table not in self._trans:
+                self._trans[table] = PDT(
+                    self._manager.state_of(table).schema
+                )
+            propagate(self._trans[table], qpdt)
+        self._query = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def commit(self) -> None:
+        self._require_active()
+        if self._query is not None:
+            self.end_query()
+        self._manager.commit(self)
+
+    def abort(self) -> None:
+        self._require_active()
+        self._manager.abort(self)
+
+    def touched_tables(self) -> list[str]:
+        return [t for t, pdt in self._trans.items() if not pdt.is_empty()]
+
+    def __repr__(self) -> str:
+        return (
+            f"Transaction(id={self.txn_id}, lsn={self.start_lsn}, "
+            f"{self.status.value})"
+        )

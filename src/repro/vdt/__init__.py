@@ -1,0 +1,6 @@
+"""Value-based delta tree (VDT) baseline and its merge scan."""
+
+from .merge import vdt_merge_rows, vdt_merge_scan
+from .vdt import VDT
+
+__all__ = ["VDT", "vdt_merge_rows", "vdt_merge_scan"]

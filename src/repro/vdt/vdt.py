@@ -1,0 +1,149 @@
+"""VDT: the value-based delta tree baseline (paper section 2.1, "VDTs").
+
+The classical way to organize a columnar write-store — used e.g. by
+MonetDB — keeps two B-trees in sort-key order:
+
+* an **insert table** holding full tuples for all inserted *and modified*
+  rows (a modify stores the post-modification image), and
+* a **delete table** holding the sort keys of deleted *or modified* stable
+  rows.
+
+Read queries replace every table scan by::
+
+    MergeUnion[SK](Scan(ins), MergeDiff[SK](Scan(stable), Scan(del)))
+
+which requires scanning — and comparing — the sort-key columns on every
+query, the cost the PDT eliminates. This module implements the structure;
+:mod:`repro.vdt.merge` implements the value-based merge scan.
+"""
+
+from __future__ import annotations
+
+from ..storage.btree import BPlusTree
+from ..storage.schema import Schema
+
+
+class VDT:
+    """Value-based write-store: SK-ordered insert + delete B-trees."""
+
+    def __init__(self, schema: Schema, order: int = 64):
+        self.schema = schema
+        # sk -> (row_list, from_stable): from_stable marks modified stable
+        # tuples (their key is also in the delete tree), as opposed to
+        # fresh inserts.
+        self._ins = BPlusTree(order=order)
+        self._del = BPlusTree(order=order)  # sk -> None
+
+    # -- update operations (value-addressed) --------------------------------
+
+    def add_insert(self, row) -> None:
+        """Record insertion of a brand-new tuple."""
+        row = list(self.schema.coerce_row(row))
+        sk = self.schema.sk_of(row)
+        if sk in self._ins:
+            raise ValueError(f"duplicate insert of key {sk!r}")
+        # Re-insert of a key whose stable tuple was deleted is legal: the
+        # delete entry keeps shadowing the stable row, the insert supplies
+        # the new one.
+        self._ins.insert(sk, (row, sk in self._del))
+
+    def add_delete(self, sk) -> None:
+        """Record deletion of the live tuple with key ``sk``."""
+        sk = tuple(sk)
+        entry = self._ins.get(sk)
+        if entry is not None:
+            row, from_stable = entry
+            self._ins.delete(sk)
+            if not from_stable:
+                return  # a pure insert vanishes without a trace
+            # Modified stable tuple: its key is already in the delete tree.
+            return
+        self._del.insert(sk, None)
+
+    def add_modify(self, current_row, col_no: int, value) -> None:
+        """Record modification of one attribute.
+
+        ``current_row`` is the tuple's full current image (the update query
+        produced it); value-based stores need it because the insert table
+        holds complete rows.
+        """
+        row = list(self.schema.coerce_row(current_row))
+        sk = self.schema.sk_of(row)
+        col_name = self.schema.columns[col_no].name
+        if self.schema.is_sk_column(col_name):
+            raise ValueError(
+                "sort-key modifies must be decomposed into delete+insert"
+            )
+        entry = self._ins.get(sk)
+        if entry is not None:
+            stored, from_stable = entry
+            stored[col_no] = value
+            return
+        row[col_no] = value
+        self._ins.insert(sk, (row, True))
+        self._del.insert(sk, None)
+
+    # -- read access ---------------------------------------------------------
+
+    def insert_items(self):
+        """``(sk, row)`` pairs of the insert table, in SK order."""
+        for sk, (row, _) in self._ins.items():
+            yield sk, row
+
+    def delete_keys(self):
+        """Deleted/modified stable keys, in SK order."""
+        for sk, _ in self._del.items():
+            yield sk
+
+    def insert_count(self) -> int:
+        return len(self._ins)
+
+    def delete_count(self) -> int:
+        return len(self._del)
+
+    def count(self) -> int:
+        """Total number of delta entries (for size parity with PDTs)."""
+        return len(self._ins) + len(self._del)
+
+    def is_empty(self) -> bool:
+        return self.count() == 0
+
+    def total_delta(self) -> int:
+        """Net row-count change."""
+        return len(self._ins) - len(self._del)
+
+    def memory_usage(self) -> int:
+        """Rough byte model: full rows in ins, keys in del.
+
+        Unlike the PDT's fixed 16 bytes/update, VDT inserts carry whole
+        tuples and modifies duplicate them — part of the paper's argument.
+        """
+        row_bytes = 16 * len(self.schema)
+        key_bytes = 16 * len(self.schema.sort_key)
+        return len(self._ins) * row_bytes + len(self._del) * key_bytes
+
+    def copy(self) -> "VDT":
+        clone = VDT(self.schema)
+        for sk, (row, from_stable) in self._ins.items():
+            clone._ins.insert(sk, (list(row), from_stable))
+        for sk, _ in self._del.items():
+            clone._del.insert(sk, None)
+        return clone
+
+    def clear(self) -> None:
+        self._ins.clear()
+        self._del.clear()
+
+    def check_invariants(self) -> None:
+        self._ins.check_invariants()
+        self._del.check_invariants()
+        for sk, (row, from_stable) in self._ins.items():
+            if self.schema.sk_of(row) != sk:
+                raise AssertionError(f"ins row key mismatch at {sk!r}")
+            if from_stable and sk not in self._del:
+                raise AssertionError(
+                    f"modified stable tuple {sk!r} missing delete entry"
+                )
+
+    def __repr__(self) -> str:
+        return f"VDT(ins={len(self._ins)}, del={len(self._del)})"

@@ -1,0 +1,21 @@
+"""Microbenchmark workload generation for the paper's Figures 16-18."""
+
+from .generator import (
+    MicroWorkload,
+    apply_ops_pdt,
+    apply_ops_vdt,
+    build_table,
+    build_workload,
+    generate_ops,
+    micro_schema,
+)
+
+__all__ = [
+    "MicroWorkload",
+    "apply_ops_pdt",
+    "apply_ops_vdt",
+    "build_table",
+    "build_workload",
+    "generate_ops",
+    "micro_schema",
+]

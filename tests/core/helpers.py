@@ -1,0 +1,106 @@
+"""Shared helpers: drive logical updates through shadow + PDT(s) at once."""
+
+from __future__ import annotations
+
+from repro.core import ShadowTable
+from repro.storage import DataType, Schema
+
+
+def int_schema():
+    """Single integer sort key plus an int and a string payload column."""
+    return Schema.build(
+        ("k", DataType.INT64),
+        ("a", DataType.INT64),
+        ("b", DataType.STRING),
+        sort_key=("k",),
+    )
+
+
+def inventory_schema():
+    """The paper's running-example schema (Figure 1)."""
+    return Schema.build(
+        ("store", DataType.STRING),
+        ("prod", DataType.STRING),
+        ("new", DataType.STRING),
+        ("qty", DataType.INT64),
+        sort_key=("store", "prod"),
+    )
+
+
+def inventory_rows():
+    return [
+        ("London", "chair", "N", 30),
+        ("London", "stool", "N", 10),
+        ("London", "table", "N", 20),
+        ("Paris", "rug", "N", 1),
+        ("Paris", "stool", "N", 5),
+    ]
+
+
+class TableDriver:
+    """Applies SQL-level updates to a ShadowTable oracle and any number of
+    PDT implementations simultaneously, translating value predicates into
+    the positional (SID, RID) calls of the paper's section 3.2."""
+
+    def __init__(self, schema: Schema, stable_rows, pdts):
+        self.schema = schema
+        self.shadow = ShadowTable(schema, stable_rows)
+        self.pdts = list(pdts)
+
+    def insert(self, row) -> None:
+        row = self.schema.coerce_row(row)
+        sk = self.schema.sk_of(row)
+        if self.shadow.contains_sk(sk):
+            raise ValueError(f"duplicate key {sk!r}")
+        rid = self.shadow.insert_position(sk)
+        for pdt in self.pdts:
+            sid = pdt.sk_rid_to_sid(sk, rid)
+            pdt.add_insert(sid, rid, list(row))
+        self.shadow.insert(rid, row)
+
+    def delete(self, sk) -> None:
+        sk = tuple(sk)
+        rid = self._rid_of(sk)
+        for pdt in self.pdts:
+            pdt.add_delete(rid, sk)
+        self.shadow.delete(rid)
+
+    def modify(self, sk, col_name: str, value) -> None:
+        sk = tuple(sk)
+        rid = self._rid_of(sk)
+        col_no = self.schema.column_index(col_name)
+        for pdt in self.pdts:
+            pdt.add_modify(rid, col_no, value)
+        self.shadow.modify(rid, col_no, value)
+
+    def live_keys(self) -> list[tuple]:
+        return self.shadow.live_sks()
+
+    def expected_rows(self) -> list[tuple]:
+        return self.shadow.rows()
+
+    def _rid_of(self, sk: tuple) -> int:
+        keys = self.shadow.live_sks()
+        try:
+            return keys.index(sk)
+        except ValueError:
+            raise KeyError(f"no live tuple with key {sk!r}") from None
+
+
+def apply_random_ops(driver: TableDriver, rng, n_ops: int, key_range: int):
+    """Drive a pseudo-random but always-valid workload of scattered
+    inserts, deletes, and modifies."""
+    for _ in range(n_ops):
+        keys = driver.live_keys()
+        choice = rng.random()
+        if choice < 0.45 or not keys:
+            key = rng.randrange(key_range)
+            if not driver.shadow.contains_sk((key,)):
+                driver.insert((key, rng.randrange(1000), f"s{key}"))
+        elif choice < 0.70:
+            driver.delete(keys[rng.randrange(len(keys))])
+        else:
+            sk = keys[rng.randrange(len(keys))]
+            col = "a" if rng.random() < 0.5 else "b"
+            value = rng.randrange(1000) if col == "a" else f"m{rng.randrange(99)}"
+            driver.modify(sk, col, value)

@@ -1,0 +1,162 @@
+"""The paper's running example (section 2.1, Figures 1-13), end to end.
+
+Each batch from the paper is applied and the resulting table image,
+SID/RID mapping, and value-space contents are checked against the figures.
+Run against both the flat reference PDT and the tree PDT.
+"""
+
+import pytest
+
+from repro.core import FlatPDT, PDT, merge_rows
+from repro.core.types import KIND_DEL, KIND_INS
+
+from .helpers import TableDriver, inventory_rows, inventory_schema
+
+
+def fresh(pdt_cls):
+    schema = inventory_schema()
+    pdt = pdt_cls(schema) if pdt_cls is FlatPDT else pdt_cls(schema, fanout=4)
+    return TableDriver(schema, inventory_rows(), [pdt]), pdt
+
+
+def run_batch1(driver):
+    driver.insert(("Berlin", "table", "Y", 10))
+    driver.insert(("Berlin", "cloth", "Y", 5))
+    driver.insert(("Berlin", "chair", "Y", 20))
+
+
+def run_batch2(driver):
+    driver.modify(("Berlin", "cloth"), "qty", 1)
+    driver.modify(("London", "stool"), "qty", 9)
+    driver.delete(("Berlin", "table"))
+    driver.delete(("Paris", "rug"))
+
+
+def run_batch3(driver):
+    driver.insert(("Paris", "rack", "Y", 4))
+    driver.insert(("London", "rack", "Y", 4))
+    driver.insert(("Berlin", "rack", "Y", 4))
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+class TestPaperExample:
+    def test_table1_after_inserts(self, pdt_cls):
+        driver, pdt = fresh(pdt_cls)
+        run_batch1(driver)
+        expected = [  # Figure 5
+            ("Berlin", "chair", "Y", 20),
+            ("Berlin", "cloth", "Y", 5),
+            ("Berlin", "table", "Y", 10),
+            ("London", "chair", "N", 30),
+            ("London", "stool", "N", 10),
+            ("London", "table", "N", 20),
+            ("Paris", "rug", "N", 1),
+            ("Paris", "stool", "N", 5),
+        ]
+        assert merge_rows(inventory_rows(), pdt) == expected
+        # All three inserts share SID 0 (Figure 3).
+        assert [e.sid for e in pdt.iter_entries()] == [0, 0, 0]
+        assert all(e.kind == KIND_INS for e in pdt.iter_entries())
+        assert pdt.total_delta() == 3
+
+    def test_table2_after_update_delete_batch(self, pdt_cls):
+        driver, pdt = fresh(pdt_cls)
+        run_batch1(driver)
+        run_batch2(driver)
+        expected = [  # Figure 9
+            ("Berlin", "chair", "Y", 20),
+            ("Berlin", "cloth", "Y", 1),
+            ("London", "chair", "N", 30),
+            ("London", "stool", "N", 9),
+            ("London", "table", "N", 20),
+            ("Paris", "stool", "N", 5),
+        ]
+        assert merge_rows(inventory_rows(), pdt) == expected
+        entries = list(pdt.iter_entries())
+        # Figure 7: two inserts at SID 0, a qty-modify at SID 1, and the
+        # ghost of (Paris,rug) at SID 3. The (Berlin,table) insert vanished.
+        assert [(e.sid, e.kind) for e in entries] == [
+            (0, KIND_INS),
+            (0, KIND_INS),
+            (1, inventory_schema().column_index("qty")),
+            (3, KIND_DEL),
+        ]
+        # In-place modify of the inserted (Berlin,cloth): qty now 1 in the
+        # insert space (Figure 8, i1).
+        cloth = pdt.values.get_insert(entries[1].ref)
+        assert cloth == ["Berlin", "cloth", "Y", 1]
+        # Delete table holds the ghost's sort key (Figure 8, d0).
+        assert pdt.values.get_delete(entries[3].ref) == ("Paris", "rug")
+        assert pdt.total_delta() == 1
+
+    def test_table3_final_state(self, pdt_cls):
+        driver, pdt = fresh(pdt_cls)
+        run_batch1(driver)
+        run_batch2(driver)
+        run_batch3(driver)
+        expected = [  # Figure 13 (live rows only)
+            ("Berlin", "chair", "Y", 20),
+            ("Berlin", "cloth", "Y", 1),
+            ("Berlin", "rack", "Y", 4),
+            ("London", "chair", "N", 30),
+            ("London", "rack", "Y", 4),
+            ("London", "stool", "N", 9),
+            ("London", "table", "N", 20),
+            ("Paris", "rack", "Y", 4),
+            ("Paris", "stool", "N", 5),
+        ]
+        assert merge_rows(inventory_rows(), pdt) == expected
+        # Figure 11 annotations: (sid, rid) per update entry.
+        entries = [(e.sid, e.rid) for e in pdt.iter_entries()]
+        assert entries == [
+            (0, 0),  # ins i2 (Berlin,chair)
+            (0, 1),  # ins i1 (Berlin,cloth)
+            (0, 2),  # ins i4 (Berlin,rack)
+            (1, 4),  # ins i3 (London,rack)
+            (1, 5),  # qty modify q0 (London,stool)
+            (3, 7),  # ins i0 (Paris,rack)
+            (3, 8),  # del d0 (Paris,rug)
+        ]
+        assert pdt.total_delta() == 4
+
+    def test_paris_rack_respects_ghost(self, pdt_cls):
+        """(Paris,rack) must receive SID 3 — before the (Paris,rug) ghost —
+        not SID 4, keeping TABLE0 sparse indexes valid (section 2.1)."""
+        driver, pdt = fresh(pdt_cls)
+        run_batch1(driver)
+        run_batch2(driver)
+        driver.insert(("Paris", "rack", "Y", 4))
+        ins = [e for e in pdt.iter_entries() if e.is_insert][-1]
+        assert pdt.values.get_insert(ins.ref)[:2] == ["Paris", "rack"]
+        assert ins.sid == 3
+
+    def test_insert_after_ghost_key(self, pdt_cls):
+        """A key sorting after a ghost gets the ghost's successor SID."""
+        driver, pdt = fresh(pdt_cls)
+        run_batch2_only = [("Paris", "rug")]
+        driver.delete(run_batch2_only[0])
+        driver.insert(("Paris", "rugz", "Y", 7))
+        ins = [e for e in pdt.iter_entries() if e.is_insert][0]
+        assert ins.sid == 4  # after ghost at SID 3
+
+    def test_invariants_throughout(self, pdt_cls):
+        driver, pdt = fresh(pdt_cls)
+        for batch in (run_batch1, run_batch2, run_batch3):
+            batch(driver)
+            pdt.check_invariants()
+
+    def test_sparse_index_range_still_valid(self, pdt_cls):
+        """Paper's query: store='Paris' AND prod<'rug' must fall in the
+        stale TABLE0 sparse-index range (1, 3] thanks to ghost SIDs."""
+        driver, pdt = fresh(pdt_cls)
+        run_batch1(driver)
+        run_batch2(driver)
+        run_batch3(driver)
+        rack = [
+            e
+            for e in pdt.iter_entries()
+            if e.is_insert and pdt.values.get_insert(e.ref)[1] == "rack"
+            and pdt.values.get_insert(e.ref)[0] == "Paris"
+        ]
+        assert len(rack) == 1
+        assert 1 < rack[0].sid <= 3

@@ -1,0 +1,128 @@
+"""Propagate (Algorithm 7): merge(T0, R.propagate(W)) == merge(merge(T0,R), W)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlatPDT, PDT, merge_rows, propagate
+
+from .helpers import TableDriver, apply_random_ops, int_schema
+
+
+def two_layer_case(pdt_cls, seed, n_stable=25, ops_r=40, ops_w=40):
+    """Build R against the stable image and W against merge(T0, R)."""
+    schema = int_schema()
+    rows = [(k * 10, k, f"s{k}") for k in range(n_stable)]
+    rng = random.Random(seed)
+
+    def make(schema):
+        return pdt_cls(schema, fanout=4) if pdt_cls is PDT else pdt_cls(schema)
+
+    read_pdt = make(schema)
+    read_driver = TableDriver(schema, rows, [read_pdt])
+    apply_random_ops(read_driver, rng, ops_r, key_range=500)
+    mid_image = read_driver.expected_rows()
+
+    write_pdt = make(schema)
+    write_driver = TableDriver(schema, mid_image, [write_pdt])
+    apply_random_ops(write_driver, rng, ops_w, key_range=500)
+    final_image = write_driver.expected_rows()
+    return rows, read_pdt, write_pdt, final_image
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_propagate_equals_stacked_merge(pdt_cls, seed):
+    rows, read_pdt, write_pdt, final_image = two_layer_case(pdt_cls, seed)
+    propagate(read_pdt, write_pdt)
+    read_pdt.check_invariants()
+    assert merge_rows(rows, read_pdt) == final_image
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+def test_propagate_into_empty(pdt_cls):
+    """Propagating into an empty lower layer copies the upper layer."""
+    schema = int_schema()
+    rows = [(k, 0, "x") for k in range(10)]
+
+    def make():
+        return pdt_cls(schema, fanout=4) if pdt_cls is PDT else pdt_cls(schema)
+
+    upper = make()
+    driver = TableDriver(schema, rows, [upper])
+    driver.insert((100, 1, "new"))
+    driver.delete((3,))
+    driver.modify((5,), "a", 9)
+
+    lower = make()
+    propagate(lower, upper)
+    assert merge_rows(rows, lower) == driver.expected_rows()
+    assert lower.count() == upper.count()
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+def test_propagate_empty_upper_is_noop(pdt_cls):
+    schema = int_schema()
+
+    def make():
+        return pdt_cls(schema, fanout=4) if pdt_cls is PDT else pdt_cls(schema)
+
+    lower, upper = make(), make()
+    driver = TableDriver(schema, [(1, 0, "x")], [lower])
+    driver.insert((5, 0, "y"))
+    before = [(e.sid, e.rid, e.kind) for e in lower.iter_entries()]
+    propagate(lower, upper)
+    assert [(e.sid, e.rid, e.kind) for e in lower.iter_entries()] == before
+
+
+def test_propagate_delete_cancels_lower_insert():
+    """W deletes a tuple that R inserted: both entries must vanish."""
+    schema = int_schema()
+    rows = [(k, 0, "x") for k in range(5)]
+    lower = FlatPDT(schema)
+    d1 = TableDriver(schema, rows, [lower])
+    d1.insert((10, 1, "r-ins"))
+    upper = FlatPDT(schema)
+    d2 = TableDriver(schema, d1.expected_rows(), [upper])
+    d2.delete((10,))
+    propagate(lower, upper)
+    assert lower.count() == 0
+    assert merge_rows(rows, lower) == rows
+
+
+def test_propagate_modify_lands_in_lower_insert():
+    """W modifies a tuple R inserted: the insert row absorbs the change."""
+    schema = int_schema()
+    rows = [(k, 0, "x") for k in range(5)]
+    lower = FlatPDT(schema)
+    d1 = TableDriver(schema, rows, [lower])
+    d1.insert((10, 1, "r-ins"))
+    upper = FlatPDT(schema)
+    d2 = TableDriver(schema, d1.expected_rows(), [upper])
+    d2.modify((10,), "a", 42)
+    propagate(lower, upper)
+    assert lower.count() == 1
+    entry = next(lower.iter_entries())
+    assert lower.values.get_insert(entry.ref) == [10, 42, "r-ins"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_repeated_propagation_chain(seed):
+    """Three consecutive layers folded one-by-one (W->R twice)."""
+    schema = int_schema()
+    rows = [(k * 10, k, f"s{k}") for k in range(20)]
+    rng = random.Random(seed)
+    base = PDT(schema, fanout=4)
+    image = rows
+    for _ in range(3):
+        layer = PDT(schema, fanout=4)
+        driver = TableDriver(schema, image, [layer])
+        apply_random_ops(driver, rng, 20, key_range=300)
+        image = driver.expected_rows()
+        propagate(base, layer)
+        base.check_invariants()
+        assert merge_rows(rows, base) == image

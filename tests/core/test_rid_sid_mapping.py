@@ -1,0 +1,89 @@
+"""RID <=> SID mapping: the PDT's core counted-tree functionality."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import FlatPDT, PDT
+
+from .helpers import TableDriver, apply_random_ops, int_schema
+
+
+def built(seed=0, n_ops=80, n_stable=25):
+    schema = int_schema()
+    rows = [(k * 10, k, f"s{k}") for k in range(n_stable)]
+    tree, flat = PDT(schema, fanout=4), FlatPDT(schema)
+    driver = TableDriver(schema, rows, [tree, flat])
+    apply_random_ops(driver, random.Random(seed), n_ops, key_range=500)
+    return driver, tree, flat
+
+
+class TestRidToSid:
+    def test_identity_when_empty(self):
+        schema = int_schema()
+        pdt = PDT(schema)
+        for rid in (0, 5, 100):
+            assert pdt.rid_to_sid(rid) == rid
+            assert pdt.sid_to_rid(rid) == rid
+
+    def test_shifted_by_insert(self):
+        driver, tree, flat = built(n_ops=0)
+        driver.insert((5, 0, "x"))  # lands at rid 1 (after key 0)
+        for pdt in (tree, flat):
+            assert pdt.rid_to_sid(1) == 1  # insert got sid 1
+            assert pdt.rid_to_sid(2) == 1  # stable tuple 1 pushed to rid 2
+            assert pdt.sid_to_rid(1) == 2
+            assert pdt.sid_to_rid(0) == 0
+
+    def test_shifted_by_delete(self):
+        driver, tree, flat = built(n_ops=0)
+        driver.delete((0,))
+        for pdt in (tree, flat):
+            assert pdt.rid_to_sid(0) == 1
+            assert pdt.sid_to_rid(1) == 0
+            # Ghost maps to the position of the first following live tuple.
+            assert pdt.sid_to_rid(0) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_mapping_matches_shadow(self, seed):
+        driver, tree, flat = built(seed=seed)
+        sids = driver.shadow.sids()  # SID of each live row, in RID order
+        for rid, sid in enumerate(sids):
+            assert tree.rid_to_sid(rid) == sid, rid
+            assert flat.rid_to_sid(rid) == sid, rid
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_sid_to_rid_inverse_on_live_stable(self, seed):
+        driver, tree, flat = built(seed=seed)
+        sids = driver.shadow.sids()
+        # For every live *stable* tuple, sid_to_rid inverts rid_to_sid.
+        stable_positions = {
+            slot.sid: None for slot in driver.shadow.slots
+            if slot.stable and not slot.is_ghost
+        }
+        rid = 0
+        for slot in driver.shadow.slots:
+            if slot.is_ghost:
+                continue
+            if slot.stable:
+                assert tree.sid_to_rid(slot.sid) == rid
+                assert flat.sid_to_rid(slot.sid) == rid
+            rid += 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10**9))
+    def test_ghost_rid_equals_successor(self, seed):
+        """A ghost's RID equals the RID of the first following live tuple
+        (or the image size at the end)."""
+        driver, tree, flat = built(seed=seed)
+        live_rid = 0
+        for slot in driver.shadow.slots:
+            if slot.is_ghost:
+                assert tree.sid_to_rid(slot.sid) == live_rid
+                assert flat.sid_to_rid(slot.sid) == live_rid
+            else:
+                live_rid += 1

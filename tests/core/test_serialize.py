@@ -1,0 +1,227 @@
+"""Serialize (Algorithm 8): re-basing overlapping transactions + conflicts.
+
+Ground truth: transactions x and y both start from the same snapshot; y
+commits first. If their write sets don't conflict, committing x must yield
+the same image as replaying x's logical operations on the post-y image.
+``serialize`` performs exactly that re-basing, so:
+
+    merge(merge(T0, Ty), serialize(Tx, Ty)) == replay(y then x)
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FlatPDT,
+    PDT,
+    TransactionConflict,
+    merge_rows,
+    serialize,
+)
+
+from .helpers import TableDriver, int_schema
+
+
+def make_pdt(pdt_cls, schema):
+    return pdt_cls(schema, fanout=4) if pdt_cls is PDT else pdt_cls(schema)
+
+
+def gen_logical_ops(rng, base_keys, key_range, n_ops, forbidden=()):
+    """Logical ops over a snapshot with ``base_keys`` live. Keys in
+    ``forbidden`` are never touched (used to build conflict-free pairs)."""
+    live = set(base_keys)
+    inserted = set()
+    ops = []
+    for _ in range(n_ops):
+        c = rng.random()
+        if c < 0.45 or not live:
+            key = rng.randrange(key_range)
+            if key in live or key in forbidden or key in inserted:
+                continue
+            ops.append(("ins", (key, rng.randrange(100), f"v{key}")))
+            live.add(key)
+            inserted.add(key)
+        elif c < 0.70:
+            key = rng.choice(sorted(live))
+            if key in forbidden:
+                continue
+            ops.append(("del", key))
+            live.discard(key)
+        else:
+            key = rng.choice(sorted(live))
+            if key in forbidden:
+                continue
+            col = rng.choice(["a", "b"])
+            val = rng.randrange(100) if col == "a" else f"m{rng.randrange(9)}"
+            ops.append(("mod", key, col, val))
+    return ops, inserted | {k for k in base_keys if k not in live} | {
+        op[1] if op[0] != "ins" else op[1][0] for op in ops
+    }
+
+
+def apply_ops(driver, ops):
+    for op in ops:
+        if op[0] == "ins":
+            if not driver.shadow.contains_sk((op[1][0],)):
+                driver.insert(op[1])
+        elif op[0] == "del":
+            if driver.shadow.contains_sk((op[1],)):
+                driver.delete((op[1],))
+        else:
+            if driver.shadow.contains_sk((op[1],)):
+                driver.modify((op[1],), op[2], op[3])
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 10**9))
+def test_serialize_matches_sequential_replay(pdt_cls, seed):
+    """Disjoint key sets: serialize must succeed and match ground truth."""
+    schema = int_schema()
+    rng = random.Random(seed)
+    base_keys = [k * 10 for k in range(20)]
+    rows = [(k, k // 10, f"s{k}") for k in base_keys]
+
+    # y touches even-ish keys, x odd-ish ones: guaranteed disjoint.
+    y_keys = {k for k in range(0, 500) if (k // 10) % 2 == 0}
+    x_keys = {k for k in range(0, 500) if (k // 10) % 2 == 1}
+
+    y_ops, _ = gen_logical_ops(
+        rng, [k for k in base_keys if k in y_keys], 500, 25,
+        forbidden=x_keys,
+    )
+    x_ops, _ = gen_logical_ops(
+        rng, [k for k in base_keys if k in x_keys], 500, 25,
+        forbidden=y_keys,
+    )
+
+    ty = make_pdt(pdt_cls, schema)
+    y_driver = TableDriver(schema, rows, [ty])
+    apply_ops(y_driver, y_ops)
+
+    tx = make_pdt(pdt_cls, schema)
+    x_driver = TableDriver(schema, rows, [tx])
+    apply_ops(x_driver, x_ops)
+
+    # Ground truth: replay y then x sequentially.
+    truth_pdt = make_pdt(pdt_cls, schema)
+    truth = TableDriver(schema, rows, [truth_pdt])
+    apply_ops(truth, y_ops)
+    apply_ops(truth, x_ops)
+
+    tx_prime = serialize(tx, ty)
+    tx_prime.check_invariants()
+    post_y = merge_rows(rows, ty)
+    final = merge_rows(post_y, tx_prime)
+    assert final == truth.expected_rows()
+
+
+@pytest.mark.parametrize("pdt_cls", [FlatPDT, PDT])
+class TestConflicts:
+    def setup_case(self, pdt_cls):
+        schema = int_schema()
+        rows = [(k * 10, k, f"s{k}") for k in range(10)]
+        ty, tx = make_pdt(pdt_cls, schema), make_pdt(pdt_cls, schema)
+        y = TableDriver(schema, rows, [ty])
+        x = TableDriver(schema, rows, [tx])
+        return rows, ty, tx, y, x
+
+    def test_insert_insert_same_key_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.insert((55, 1, "y"))
+        x.insert((55, 2, "x"))
+        with pytest.raises(TransactionConflict):
+            serialize(tx, ty)
+
+    def test_delete_delete_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.delete((30,))
+        x.delete((30,))
+        with pytest.raises(TransactionConflict):
+            serialize(tx, ty)
+
+    def test_modify_after_delete_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.delete((30,))
+        x.modify((30,), "a", 1)
+        with pytest.raises(TransactionConflict):
+            serialize(tx, ty)
+
+    def test_delete_after_modify_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.modify((30,), "a", 1)
+        x.delete((30,))
+        with pytest.raises(TransactionConflict):
+            serialize(tx, ty)
+
+    def test_same_column_modify_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.modify((30,), "a", 1)
+        x.modify((30,), "a", 2)
+        with pytest.raises(TransactionConflict):
+            serialize(tx, ty)
+
+    def test_disjoint_column_modifies_reconcile(self, pdt_cls):
+        """Paper: CheckModConflict allows modifications of different
+        attributes of the same tuple."""
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.modify((30,), "a", 1)
+        x.modify((30,), "b", "xx")
+        tx_prime = serialize(tx, ty)
+        final = merge_rows(merge_rows(rows, ty), tx_prime)
+        row = [r for r in final if r[0] == 30][0]
+        assert row == (30, 1, "xx")
+
+    def test_insert_into_deleted_key_allowed(self, pdt_cls):
+        """Re-inserting a key y deleted is legal ('never conflict with
+        insert')."""
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.delete((30,))
+        x.insert((31, 7, "fresh"))
+        tx_prime = serialize(tx, ty)
+        final = merge_rows(merge_rows(rows, ty), tx_prime)
+        keys = [r[0] for r in final]
+        assert 30 not in keys and 31 in keys
+
+    def test_insert_same_position_different_keys(self, pdt_cls):
+        """Both transactions insert between the same stable neighbours."""
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.insert((41, 1, "y1"))
+        y.insert((43, 1, "y2"))
+        x.insert((42, 2, "x1"))
+        x.insert((44, 2, "x2"))
+        tx_prime = serialize(tx, ty)
+        final = merge_rows(merge_rows(rows, ty), tx_prime)
+        keys = [r[0] for r in final]
+        assert keys == sorted(keys)
+        for k in (41, 42, 43, 44):
+            assert k in keys
+
+    def test_empty_tx_never_conflicts(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.delete((30,))
+        y.insert((99, 0, "y"))
+        tx_prime = serialize(tx, ty)
+        assert tx_prime.count() == 0
+
+    def test_empty_ty_is_identity(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        x.insert((55, 1, "x"))
+        x.delete((30,))
+        tx_prime = serialize(tx, ty)
+        assert [(e.sid, e.rid, e.kind) for e in tx_prime.iter_entries()] == [
+            (e.sid, e.rid, e.kind) for e in tx.iter_entries()
+        ]
+
+    def test_serialize_does_not_mutate_inputs(self, pdt_cls):
+        rows, ty, tx, y, x = self.setup_case(pdt_cls)
+        y.insert((11, 0, "y"))
+        x.insert((55, 1, "x"))
+        tx_before = [(e.sid, e.rid, e.kind) for e in tx.iter_entries()]
+        ty_before = [(e.sid, e.rid, e.kind) for e in ty.iter_entries()]
+        serialize(tx, ty)
+        assert [(e.sid, e.rid, e.kind) for e in tx.iter_entries()] == tx_before
+        assert [(e.sid, e.rid, e.kind) for e in ty.iter_entries()] == ty_before

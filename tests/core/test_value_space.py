@@ -1,0 +1,108 @@
+"""Unit tests for the PDT value space."""
+
+import pytest
+
+from repro.core import ValueSpace
+from repro.core.types import KIND_DEL, KIND_INS, PDTError
+
+from .helpers import int_schema
+
+
+class TestInsertTable:
+    def test_add_get(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_insert((1, 2, "x"))
+        assert vs.get_insert(ref) == [1, 2, "x"]
+
+    def test_arity_checked(self):
+        vs = ValueSpace(int_schema())
+        with pytest.raises(PDTError):
+            vs.add_insert((1, 2))
+
+    def test_modify_insert_in_place(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_insert((1, 2, "x"))
+        vs.modify_insert(ref, 1, 99)
+        assert vs.get_insert(ref) == [1, 99, "x"]
+
+    def test_free_insert(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_insert((1, 2, "x"))
+        vs.free_insert(ref)
+        with pytest.raises(PDTError):
+            vs.get_insert(ref)
+        with pytest.raises(PDTError):
+            vs.free_insert(ref)
+        assert vs.live_inserts() == 0
+
+    def test_insert_sk(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_insert((7, 2, "x"))
+        assert vs.insert_sk(ref) == (7,)
+
+
+class TestDeleteTable:
+    def test_add_get(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_delete((5,))
+        assert vs.get_delete(ref) == (5,)
+
+    def test_arity_checked(self):
+        vs = ValueSpace(int_schema())
+        with pytest.raises(PDTError):
+            vs.add_delete((5, 6))
+
+
+class TestModifyTables:
+    def test_per_column_tables(self):
+        vs = ValueSpace(int_schema())
+        r1 = vs.add_modify(1, 42)
+        r2 = vs.add_modify(2, "y")
+        assert vs.get_modify(1, r1) == 42
+        assert vs.get_modify(2, r2) == "y"
+        vs.set_modify(1, r1, 43)
+        assert vs.get_modify(1, r1) == 43
+
+    def test_column_range_checked(self):
+        vs = ValueSpace(int_schema())
+        with pytest.raises(PDTError):
+            vs.add_modify(10, 1)
+
+
+class TestGenericAccess:
+    def test_value_of_dispatch(self):
+        vs = ValueSpace(int_schema())
+        ri = vs.add_insert((1, 2, "x"))
+        rd = vs.add_delete((9,))
+        rm = vs.add_modify(1, 5)
+        assert vs.value_of(KIND_INS, ri) == [1, 2, "x"]
+        assert vs.value_of(KIND_DEL, rd) == (9,)
+        assert vs.value_of(1, rm) == 5
+
+    def test_copy_is_deep(self):
+        vs = ValueSpace(int_schema())
+        ref = vs.add_insert((1, 2, "x"))
+        clone = vs.copy()
+        clone.modify_insert(ref, 1, 777)
+        assert vs.get_insert(ref) == [1, 2, "x"]
+
+    def test_stats(self):
+        vs = ValueSpace(int_schema())
+        vs.add_insert((1, 2, "x"))
+        r = vs.add_insert((3, 4, "y"))
+        vs.free_insert(r)
+        vs.add_delete((8,))
+        vs.add_modify(1, 0)
+        stats = vs.stats()
+        assert stats == {
+            "inserts": 1,
+            "deletes": 1,
+            "modifies": 1,
+            "freed_inserts": 1,
+        }
+
+    def test_clear(self):
+        vs = ValueSpace(int_schema())
+        vs.add_insert((1, 2, "x"))
+        vs.clear()
+        assert vs.stats()["inserts"] == 0

@@ -1,0 +1,141 @@
+"""Replicated ordered storage: fan-out updates, routed queries."""
+
+import random
+
+import pytest
+
+from repro import Database, DataType, Schema
+from repro.db.replicas import ReplicatedTable
+
+
+def base_schema():
+    return Schema.build(
+        ("order_id", DataType.INT64),
+        ("date", DataType.INT64),
+        ("amount", DataType.INT64),
+        sort_key=("order_id",),
+    )
+
+
+def make_replicated(n=40):
+    db = Database(compressed=False, sparse_granularity=8)
+    rows = [(i, 1000 + (i * 37) % 90, i * 10) for i in range(n)]
+    rep = ReplicatedTable(
+        db, "sales", base_schema(),
+        sort_orders=[("order_id",), ("date", "order_id")],
+        rows=rows,
+    )
+    return db, rep, rows
+
+
+class TestReplicaMaintenance:
+    def test_replicas_created_with_own_orders(self):
+        db, rep, rows = make_replicated()
+        by_id = db.image_rows("sales__r0")
+        by_date = db.image_rows("sales__r1")
+        assert sorted(by_id) == sorted(by_date)
+        assert [r[0] for r in by_id] == sorted(r[0] for r in by_id)
+        dates = [r[1] for r in by_date]
+        assert dates == sorted(dates)
+
+    def test_insert_fans_out(self):
+        db, rep, rows = make_replicated()
+        rep.insert((100, 1001, 5))
+        rep.check_replicas_consistent()
+        assert (100, 1001, 5) in rep.image_rows()
+
+    def test_delete_fans_out(self):
+        db, rep, rows = make_replicated()
+        rep.delete((7,))
+        rep.check_replicas_consistent()
+        assert all(r[0] != 7 for r in rep.image_rows())
+
+    def test_modify_non_key_everywhere(self):
+        db, rep, rows = make_replicated()
+        rep.modify((5,), "amount", 999)
+        rep.check_replicas_consistent()
+        assert [r for r in rep.image_rows() if r[0] == 5][0][2] == 999
+
+    def test_modify_of_replica_sort_key_is_delete_insert(self):
+        """'date' is a key column of replica 1: the modify must relocate
+        the tuple there while replica 0 modifies in place."""
+        db, rep, rows = make_replicated()
+        rep.modify((5,), "date", 2000)
+        rep.check_replicas_consistent()
+        by_date = db.image_rows("sales__r1")
+        assert by_date[-1][0] == 5  # relocated to the end (max date)
+
+    def test_missing_key_raises(self):
+        db, rep, rows = make_replicated()
+        with pytest.raises(KeyError):
+            rep.delete((424242,))
+
+    def test_random_workload_stays_consistent(self):
+        db, rep, rows = make_replicated()
+        rng = random.Random(3)
+        live = {r[0] for r in rows}
+        for _ in range(60):
+            c = rng.random()
+            if c < 0.4 or not live:
+                k = rng.randrange(500)
+                if k not in live:
+                    rep.insert((k, 1000 + k % 90, k))
+                    live.add(k)
+            elif c < 0.6:
+                k = rng.choice(sorted(live))
+                rep.delete((k,))
+                live.discard(k)
+            elif c < 0.8:
+                k = rng.choice(sorted(live))
+                rep.modify((k,), "amount", rng.randrange(10**6))
+            else:
+                k = rng.choice(sorted(live))
+                rep.modify((k,), "date", 1000 + rng.randrange(90))
+        rep.check_replicas_consistent()
+        assert {r[0] for r in rep.image_rows()} == live
+
+
+class TestReplicaRouting:
+    def test_replica_for_prefix(self):
+        db, rep, rows = make_replicated()
+        assert rep.replica_for(["order_id"]) == "sales__r0"
+        assert rep.replica_for(["date"]) == "sales__r1"
+        assert rep.replica_for(["date", "order_id"]) == "sales__r1"
+        assert rep.replica_for(["amount"]) == "sales__r0"  # fallback
+
+    def test_range_query_on_secondary_order(self):
+        db, rep, rows = make_replicated()
+        rep.insert((100, 1005, 1))
+        rel = rep.query_range("date", 1000, 1010, columns=["order_id",
+                                                           "date"])
+        got = rel.rows()
+        assert all(1000 <= r[1] <= 1010 for r in got)
+        expected = sorted(
+            (r[0], r[1]) for r in rep.image_rows() if 1000 <= r[1] <= 1010
+        )
+        assert sorted(got) == expected
+
+    def test_range_query_prunes_io_on_matching_replica(self):
+        db = Database(compressed=False, sparse_granularity=16,
+                      block_rows=32)
+        rows = [(i, i, i) for i in range(2000)]
+        rep = ReplicatedTable(
+            db, "big", base_schema(),
+            sort_orders=[("order_id",), ("date", "order_id")], rows=rows,
+        )
+        db.make_cold()
+        db.io.reset()
+        rep.query_range("date", 100, 120, columns=["amount"])
+        pruned = db.io.bytes_read
+        db.make_cold()
+        db.io.reset()
+        rep.query_range("amount", 100, 120, columns=["amount"])  # no order
+        full = db.io.bytes_read
+        assert pruned < full / 5
+
+    def test_unordered_predicate_falls_back_to_filter(self):
+        db, rep, rows = make_replicated()
+        rel = rep.query_range("amount", 50, 100, columns=["order_id"])
+        expected = sorted(r[0] for r in rep.image_rows()
+                          if 50 <= r[2] <= 100)
+        assert sorted(rel["order_id"].tolist()) == expected

@@ -1,0 +1,99 @@
+"""Tests for date/string helper functions."""
+
+import datetime
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import functions as fn
+
+
+class TestDates:
+    def test_days_epoch(self):
+        assert fn.days(1970, 1, 1) == 0
+        assert fn.days(1970, 1, 2) == 1
+
+    def test_roundtrip(self):
+        d = fn.days(1995, 3, 15)
+        assert fn.date_of(d) == datetime.date(1995, 3, 15)
+
+    def test_add_years(self):
+        d = fn.days(1994, 1, 1)
+        assert fn.date_of(fn.add_years(d, 1)) == datetime.date(1995, 1, 1)
+
+    def test_add_months_wraps_year(self):
+        d = fn.days(1995, 11, 15)
+        assert fn.date_of(fn.add_months(d, 3)) == datetime.date(1996, 2, 15)
+
+    def test_add_months_clamps_day(self):
+        d = fn.days(1995, 1, 31)
+        assert fn.date_of(fn.add_months(d, 1)) == datetime.date(1995, 2, 28)
+        d = fn.days(1996, 1, 31)  # leap year
+        assert fn.date_of(fn.add_months(d, 1)) == datetime.date(1996, 2, 29)
+
+    def test_add_days(self):
+        assert fn.add_days(fn.days(1998, 12, 1), -90) == fn.days(1998, 9, 2)
+
+    def test_year_of_vectorized(self):
+        arr = np.array(
+            [fn.days(1992, 1, 1), fn.days(1995, 6, 30), fn.days(1998, 12, 31)],
+            dtype=np.int32,
+        )
+        assert fn.year_of(arr).tolist() == [1992, 1995, 1998]
+
+    def test_month_of_vectorized(self):
+        arr = np.array(
+            [fn.days(1992, 1, 1), fn.days(1995, 6, 30)], dtype=np.int32
+        )
+        assert fn.month_of(arr).tolist() == [1, 6]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.integers(1970, 2100), st.integers(1, 12), st.integers(1, 28),
+    st.integers(-50, 50),
+)
+def test_add_months_matches_datetime(year, month, day, n):
+    d = fn.days(year, month, day)
+    got = fn.date_of(fn.add_months(d, n))
+    total = (year * 12 + month - 1) + n
+    exp_year, exp_month = divmod(total, 12)
+    assert (got.year, got.month) == (exp_year, exp_month + 1)
+    assert got.day == day  # day <= 28 never clamps
+
+
+class TestStrings:
+    def strings(self, *values):
+        arr = np.empty(len(values), dtype=object)
+        arr[:] = values
+        return arr
+
+    def test_starts_ends_contains(self):
+        arr = self.strings("PROMO brushed", "STANDARD tin", "ECONOMY brass")
+        assert fn.starts_with(arr, "PROMO").tolist() == [True, False, False]
+        assert fn.ends_with(arr, "tin").tolist() == [False, True, False]
+        assert fn.contains(arr, "bra").tolist() == [False, False, True]
+
+    def test_like(self):
+        arr = self.strings("green metal case", "red case", "green box")
+        assert fn.like(arr, "%green%case%").tolist() == [True, False, False]
+        assert fn.like(arr, "red _ase").tolist() == [False, True, False]
+
+    def test_like_escapes_regex_chars(self):
+        arr = self.strings("a.b", "axb")
+        assert fn.like(arr, "a.b").tolist() == [True, False]
+
+    def test_isin_object_and_numeric(self):
+        arr = self.strings("a", "b", "c")
+        assert fn.isin(arr, {"a", "c"}).tolist() == [True, False, True]
+        nums = np.array([1, 2, 3])
+        assert fn.isin(nums, [2]).tolist() == [False, True, False]
+
+    def test_between(self):
+        nums = np.array([1, 5, 10])
+        assert fn.between(nums, 5, 10).tolist() == [False, True, True]
+
+    def test_substring(self):
+        arr = self.strings("13-345-823", "31-100-555")
+        assert fn.substring(arr, 1, 2).tolist() == ["13", "31"]

@@ -1,0 +1,118 @@
+"""Unit and property tests for the generic B+-tree (VDT substrate)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import BPlusTree
+
+
+class TestBPlusTreeBasics:
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert((1, "a"), "x")
+        tree.insert((0, "b"), "y")
+        assert tree.get((1, "a")) == "x"
+        assert tree.get((0, "b")) == "y"
+        assert tree.get((9, "z")) is None
+        assert len(tree) == 2
+
+    def test_overwrite_keeps_count(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert len(tree) == 1
+        assert tree.get(1) == "b"
+
+    def test_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        assert tree.delete(1)
+        assert not tree.delete(1)
+        assert len(tree) == 0
+        assert 1 not in tree
+
+    def test_items_sorted_after_many_inserts(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 2)
+        assert [k for k, _ in tree.items()] == list(range(500))
+        tree.check_invariants()
+
+    def test_range_items(self):
+        tree = BPlusTree(order=4)
+        for k in range(0, 100, 2):
+            tree.insert(k, str(k))
+        got = [k for k, _ in tree.range_items(10, 20)]
+        assert got == [10, 12, 14, 16, 18]
+        assert [k for k, _ in tree.range_items(None, 6)] == [0, 2, 4]
+        assert [k for k, _ in tree.range_items(94, None)] == [94, 96, 98]
+
+    def test_min_key(self):
+        tree = BPlusTree(order=4)
+        assert tree.min_key() is None
+        tree.insert(5, "x")
+        tree.insert(2, "y")
+        assert tree.min_key() == 2
+
+    def test_tuple_keys_ordering(self):
+        tree = BPlusTree(order=4)
+        tree.insert(("b", 1), 1)
+        tree.insert(("a", 9), 2)
+        tree.insert(("a", 2), 3)
+        assert [k for k, _ in tree.items()] == [("a", 2), ("a", 9), ("b", 1)]
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_clear(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.clear()
+        assert len(tree) == 0
+        assert list(tree.items()) == []
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["ins", "del"]),
+            st.integers(min_value=0, max_value=60),
+        ),
+        max_size=250,
+    )
+)
+def test_btree_matches_dict_model(ops):
+    tree = BPlusTree(order=4)
+    model = {}
+    for op, key in ops:
+        if op == "ins":
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        else:
+            assert tree.delete(key) == (key in model)
+            model.pop(key, None)
+    assert list(tree.items()) == sorted(model.items())
+    assert len(tree) == len(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.integers(0, 1000), unique=True, min_size=1, max_size=200),
+    st.integers(0, 1000),
+    st.integers(0, 1000),
+)
+def test_btree_range_scan_matches_sorted_slice(keys, lo, hi):
+    lo, hi = min(lo, hi), max(lo, hi)
+    tree = BPlusTree(order=6)
+    for k in keys:
+        tree.insert(k, None)
+    expected = [k for k in sorted(keys) if lo <= k < hi]
+    assert [k for k, _ in tree.range_items(lo, hi)] == expected

@@ -1,0 +1,151 @@
+"""Round-trip and size-behaviour tests for the columnar codecs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DataType
+from repro.storage import compression as comp
+
+
+def roundtrip(arr, dtype, codec):
+    blob = comp.encode(np.asarray(arr, dtype=dtype.numpy_dtype), dtype, codec)
+    return comp.decode(blob, dtype)
+
+
+class TestPlain:
+    def test_int_roundtrip(self):
+        data = [1, -5, 7, 2**40]
+        out = roundtrip(data, DataType.INT64, comp.PLAIN)
+        assert out.tolist() == data
+
+    def test_string_roundtrip(self):
+        data = np.empty(3, dtype=object)
+        data[:] = ["a", "", "héllo"]
+        blob = comp.encode(data, DataType.STRING, comp.PLAIN)
+        out = comp.decode(blob, DataType.STRING)
+        assert out.tolist() == ["a", "", "héllo"]
+
+    def test_empty(self):
+        out = roundtrip([], DataType.INT64, comp.PLAIN)
+        assert len(out) == 0
+
+
+class TestRLE:
+    def test_runs_roundtrip(self):
+        data = [5] * 100 + [7] * 3 + [5] * 10
+        out = roundtrip(data, DataType.INT64, comp.RLE)
+        assert out.tolist() == data
+
+    def test_string_runs(self):
+        data = np.empty(6, dtype=object)
+        data[:] = ["x", "x", "y", "y", "y", "z"]
+        blob = comp.encode(data, DataType.STRING, comp.RLE)
+        out = comp.decode(blob, DataType.STRING)
+        assert out.tolist() == ["x", "x", "y", "y", "y", "z"]
+
+    def test_rle_smaller_on_constant_column(self):
+        data = np.full(4096, 42, dtype=np.int64)
+        rle = comp.encode(data, DataType.INT64, comp.RLE)
+        plain = comp.encode(data, DataType.INT64, comp.PLAIN)
+        assert len(rle) < len(plain) / 100
+
+
+class TestDelta:
+    def test_monotone_roundtrip(self):
+        data = np.arange(0, 100000, 3, dtype=np.int64)
+        out = roundtrip(data, DataType.INT64, comp.DELTA)
+        assert np.array_equal(out, data)
+
+    def test_negative_deltas(self):
+        data = [100, 50, 75, -3, 0]
+        out = roundtrip(data, DataType.INT64, comp.DELTA)
+        assert out.tolist() == data
+
+    def test_delta_smaller_on_sorted_keys(self):
+        data = np.arange(10**6, 10**6 + 4096, dtype=np.int64)
+        delta = comp.encode(data, DataType.INT64, comp.DELTA)
+        plain = comp.encode(data, DataType.INT64, comp.PLAIN)
+        assert len(delta) < len(plain) / 4
+
+    def test_int32_date_roundtrip(self):
+        data = np.array([8000, 8001, 8400], dtype=np.int32)
+        out = roundtrip(data, DataType.DATE, comp.DELTA)
+        assert out.dtype == np.int32
+        assert out.tolist() == [8000, 8001, 8400]
+
+
+class TestDict:
+    def test_roundtrip(self):
+        data = np.empty(1000, dtype=object)
+        data[:] = [f"country-{i % 7}" for i in range(1000)]
+        blob = comp.encode(data, DataType.STRING, comp.DICT)
+        out = comp.decode(blob, DataType.STRING)
+        assert out.tolist() == data.tolist()
+
+    def test_dict_smaller_on_low_cardinality(self):
+        data = np.empty(4096, dtype=object)
+        data[:] = [f"status-{i % 3}" for i in range(4096)]
+        dct = comp.encode(data, DataType.STRING, comp.DICT)
+        plain = comp.encode(data, DataType.STRING, comp.PLAIN)
+        assert len(dct) < len(plain) / 3
+
+
+class TestEncodeBest:
+    def test_picks_smallest(self):
+        sorted_keys = np.arange(4096, dtype=np.int64)
+        blob = comp.encode_best(sorted_keys, DataType.INT64)
+        assert comp.codec_of(blob) in (comp.DELTA, comp.RLE)
+        out = comp.decode(blob, DataType.INT64)
+        assert np.array_equal(out, sorted_keys)
+
+    def test_random_data_falls_back(self):
+        rng = np.random.RandomState(0)
+        data = rng.randint(-(2**62), 2**62, size=512, dtype=np.int64)
+        blob = comp.encode_best(data, DataType.INT64)
+        out = comp.decode(blob, DataType.INT64)
+        assert np.array_equal(out, data)
+
+    def test_unknown_codec_rejected(self):
+        data = np.arange(4, dtype=np.int64)
+        blob = comp.encode(data, DataType.INT64, comp.PLAIN)
+        corrupted = b"XXX " + blob[4:]
+        with pytest.raises(comp.CompressionError):
+            comp.decode(corrupted, DataType.INT64)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.integers(min_value=-(2**62), max_value=2**62), max_size=300))
+def test_int_codecs_roundtrip_property(values):
+    arr = np.array(values, dtype=np.int64)
+    for codec in (comp.PLAIN, comp.RLE, comp.DELTA):
+        if len(arr) == 0 and codec != comp.PLAIN:
+            continue
+        blob = comp.encode(arr, DataType.INT64, codec)
+        assert np.array_equal(comp.decode(blob, DataType.INT64), arr), codec
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.text(max_size=20), min_size=1, max_size=120))
+def test_string_codecs_roundtrip_property(values):
+    arr = np.empty(len(values), dtype=object)
+    arr[:] = values
+    for codec in (comp.PLAIN, comp.RLE, comp.DICT):
+        blob = comp.encode(arr, DataType.STRING, codec)
+        assert comp.decode(blob, DataType.STRING).tolist() == values, codec
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.floats(allow_nan=False, allow_infinity=False, width=64), max_size=200
+    )
+)
+def test_float_codecs_roundtrip_property(values):
+    arr = np.array(values, dtype=np.float64)
+    for codec in (comp.PLAIN, comp.RLE):
+        if len(arr) == 0 and codec != comp.PLAIN:
+            continue
+        blob = comp.encode(arr, DataType.FLOAT64, codec)
+        assert np.array_equal(comp.decode(blob, DataType.FLOAT64), arr), codec

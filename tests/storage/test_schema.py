@@ -1,0 +1,102 @@
+"""Unit tests for schema definitions."""
+
+import numpy as np
+import pytest
+
+from repro.storage import ColumnSpec, DataType, Schema, SchemaError
+
+
+def inventory_schema():
+    return Schema.build(
+        ("store", DataType.STRING),
+        ("prod", DataType.STRING),
+        ("new", DataType.STRING),
+        ("qty", DataType.INT64),
+        sort_key=("store", "prod"),
+    )
+
+
+class TestDataType:
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype == np.dtype(np.int64)
+        assert DataType.DATE.numpy_dtype == np.dtype(np.int32)
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+
+    def test_is_numeric(self):
+        assert DataType.INT64.is_numeric
+        assert DataType.DATE.is_numeric
+        assert not DataType.STRING.is_numeric
+
+    def test_python_value_coercion(self):
+        assert DataType.INT64.python_value("7") == 7
+        assert DataType.STRING.python_value(7) == "7"
+        assert DataType.FLOAT64.python_value("2.5") == 2.5
+        assert DataType.BOOL.python_value(1) is True
+
+
+class TestColumnSpec:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("", DataType.INT64)
+
+    def test_frozen(self):
+        spec = ColumnSpec("a", DataType.INT64)
+        with pytest.raises(AttributeError):
+            spec.name = "b"
+
+
+class TestSchema:
+    def test_basic_accessors(self):
+        schema = inventory_schema()
+        assert len(schema) == 4
+        assert schema.column_names == ("store", "prod", "new", "qty")
+        assert schema.sort_key == ("store", "prod")
+        assert schema.sort_key_indexes == (0, 1)
+        assert schema.column_index("qty") == 3
+        assert schema.dtype_of("qty") is DataType.INT64
+        assert "qty" in schema
+        assert "missing" not in schema
+
+    def test_sk_of(self):
+        schema = inventory_schema()
+        assert schema.sk_of(("London", "chair", "N", 30)) == ("London", "chair")
+
+    def test_is_sk_column(self):
+        schema = inventory_schema()
+        assert schema.is_sk_column("store")
+        assert not schema.is_sk_column("qty")
+
+    def test_coerce_row(self):
+        schema = inventory_schema()
+        row = schema.coerce_row(["London", "chair", "N", "30"])
+        assert row == ("London", "chair", "N", 30)
+
+    def test_coerce_row_wrong_arity(self):
+        with pytest.raises(SchemaError):
+            inventory_schema().coerce_row(("x",))
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(
+                ("a", DataType.INT64), ("a", DataType.INT64), sort_key=("a",)
+            )
+
+    def test_empty_sort_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", DataType.INT64), sort_key=())
+
+    def test_unknown_sort_key_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.build(("a", DataType.INT64), sort_key=("b",))
+
+    def test_unknown_column_lookup(self):
+        with pytest.raises(SchemaError):
+            inventory_schema().column_index("nope")
+
+    def test_sort_key_need_not_be_prefix(self):
+        schema = Schema.build(
+            ("a", DataType.INT64),
+            ("b", DataType.INT64),
+            sort_key=("b",),
+        )
+        assert schema.sort_key_indexes == (1,)

@@ -1,0 +1,120 @@
+"""TPC-H generator: determinism, conformance, refresh-stream shape."""
+
+import numpy as np
+
+from repro.engine import functions as fn
+from repro.tpch import generate, load_database
+from repro.tpch import schema as tpch_schema
+
+
+def small():
+    return generate(scale=0.002, seed=42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a, b = generate(scale=0.002, seed=7), generate(scale=0.002, seed=7)
+        for table in tpch_schema.SCHEMAS:
+            for col, arr in a.tables[table].items():
+                assert np.array_equal(arr, b.tables[table][col]), (table, col)
+        assert a.refreshes[0].delete_orderkeys == \
+            b.refreshes[0].delete_orderkeys
+
+    def test_different_seed_differs(self):
+        a, b = generate(scale=0.002, seed=1), generate(scale=0.002, seed=2)
+        assert not np.array_equal(
+            a.tables["orders"]["o_custkey"], b.tables["orders"]["o_custkey"]
+        )
+
+
+class TestConformance:
+    def test_cardinality_ratios(self):
+        data = small()
+        n_orders = data.row_count("orders")
+        assert data.row_count("region") == 5
+        assert data.row_count("nation") == 25
+        assert data.row_count("partsupp") == 4 * data.row_count("part")
+        # ~4 lineitems per order on average (1..7 uniform).
+        ratio = data.row_count("lineitem") / n_orders
+        assert 3.0 < ratio < 5.0
+
+    def test_tables_load_and_are_sorted(self):
+        data = small()
+        db = load_database(data, compressed=False)
+        for name, schema in tpch_schema.SCHEMAS.items():
+            table = db.table(name)
+            keys = [table.sk_at(i) for i in range(0, table.num_rows,
+                                                  max(table.num_rows // 50, 1))]
+            assert keys == sorted(keys), name
+
+    def test_orders_sorted_by_date_then_key(self):
+        data = small()
+        arrays = data.tables["orders"]
+        pairs = list(zip(arrays["o_orderdate"], arrays["o_orderkey"]))
+        assert pairs == sorted(pairs)
+
+    def test_initial_orderkeys_even(self):
+        data = small()
+        assert (data.tables["orders"]["o_orderkey"] % 2 == 0).all()
+
+    def test_lineitem_dates_consistent(self):
+        data = small()
+        li = data.tables["lineitem"]
+        assert (li["l_receiptdate"] > li["l_shipdate"]).all()
+        assert (li["l_shipdate"] >= fn.days(1992, 1, 1)).all()
+
+    def test_phone_country_codes(self):
+        data = small()
+        cust = data.tables["customer"]
+        for phone, nk in zip(cust["c_phone"][:50], cust["c_nationkey"][:50]):
+            assert phone.startswith(f"{int(nk) + 10}-")
+
+    def test_value_domains(self):
+        data = small()
+        part = data.tables["part"]
+        assert set(np.unique(data.tables["customer"]["c_mktsegment"])) <= {
+            "AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"
+        }
+        assert ((part["p_size"] >= 1) & (part["p_size"] <= 50)).all()
+        li = data.tables["lineitem"]
+        assert set(np.unique(li["l_returnflag"])) <= {"A", "N", "R"}
+        assert set(np.unique(li["l_linestatus"])) <= {"F", "O"}
+
+
+class TestRefreshStreams:
+    def test_pair_sizes(self):
+        data = small()
+        assert len(data.refreshes) == 2
+        n_orders = data.row_count("orders")
+        expected = max(int(n_orders * 0.001), 1)
+        for pair in data.refreshes:
+            assert len(pair.new_orders) == expected
+            assert len(pair.delete_orderkeys) == expected
+            assert len(pair.new_lineitems) >= expected
+
+    def test_insert_keys_odd_and_unique(self):
+        data = small()
+        seen = set()
+        for pair in data.refreshes:
+            for row in pair.new_orders:
+                key = row[1]
+                assert key % 2 == 1
+                assert key not in seen
+                seen.add(key)
+
+    def test_delete_keys_exist_and_unique(self):
+        data = small()
+        existing = set(data.tables["orders"]["o_orderkey"].tolist())
+        seen = set()
+        for pair in data.refreshes:
+            for key in pair.delete_orderkeys:
+                assert key in existing
+                assert key not in seen
+                seen.add(key)
+
+    def test_new_lineitems_match_new_orders(self):
+        data = small()
+        for pair in data.refreshes:
+            order_keys = {row[1] for row in pair.new_orders}
+            line_keys = {row[0] for row in pair.new_lineitems}
+            assert line_keys == order_keys

@@ -1,0 +1,115 @@
+"""WAL durability: logging, file persistence, and replay recovery."""
+
+import random
+
+from repro import Database, DataType, PDT, Schema, merge_rows
+from repro.txn import WriteAheadLog, replay_into
+
+
+def make_db(tmp_path=None, n=15):
+    schema = Schema.build(
+        ("k", DataType.INT64),
+        ("a", DataType.INT64),
+        ("b", DataType.STRING),
+        sort_key=("k",),
+    )
+    wal_path = None if tmp_path is None else tmp_path / "wal.jsonl"
+    db = Database(compressed=False, wal_path=wal_path)
+    db.create_table("t", schema, [(i * 10, i, f"s{i}") for i in range(n)])
+    return db, schema
+
+
+class TestWalLogging:
+    def test_each_commit_is_one_record(self):
+        db, _ = make_db()
+        db.insert("t", (5, 1, "x"))
+        db.delete("t", (0,))
+        assert len(db.manager.wal) == 2
+        assert db.manager.wal.records[0].lsn == 1
+        assert db.manager.wal.records[1].lsn == 2
+
+    def test_aborted_txns_not_logged(self):
+        db, _ = make_db()
+        txn = db.begin()
+        txn.insert("t", (5, 1, "x"))
+        txn.abort()
+        assert len(db.manager.wal) == 0
+
+    def test_record_payloads(self):
+        db, _ = make_db()
+        with db.transaction() as txn:
+            txn.insert("t", (5, 1, "x"))
+            txn.modify("t", (10,), "a", 99)
+        (record,) = db.manager.wal.records
+        entries = record.tables["t"]
+        kinds = sorted(kind for _, kind, _ in entries)
+        assert kinds == [-1, 1]  # one INS, one MOD of column 1
+
+
+class TestReplay:
+    def replay_check(self, db, schema, stable_rows):
+        fresh = {"t": PDT(schema)}
+        last_lsn = replay_into(db.manager.wal, fresh)
+        assert last_lsn == len(db.manager.wal)
+        assert merge_rows(stable_rows, fresh["t"]) == db.image_rows("t")
+
+    def test_replay_reconstructs_image(self):
+        db, schema = make_db()
+        stable_rows = db.table("t").rows()
+        db.insert("t", (5, 1, "x"))
+        db.modify("t", (10,), "b", "mod")
+        db.delete("t", (20,))
+        db.insert("t", (21, 2, "y"))
+        self.replay_check(db, schema, stable_rows)
+
+    def test_replay_random_history(self):
+        db, schema = make_db(n=30)
+        stable_rows = db.table("t").rows()
+        rng = random.Random(99)
+        live = {r[0] for r in stable_rows}
+        for _ in range(60):
+            c = rng.random()
+            if c < 0.5 or not live:
+                k = rng.randrange(500)
+                if k not in live:
+                    db.insert("t", (k, 0, f"v{k}"))
+                    live.add(k)
+            elif c < 0.75:
+                k = rng.choice(sorted(live))
+                db.delete("t", (k,))
+                live.discard(k)
+            else:
+                k = rng.choice(sorted(live))
+                db.modify("t", (k,), "a", rng.randrange(1000))
+        self.replay_check(db, schema, stable_rows)
+
+    def test_replay_multi_statement_transactions(self):
+        db, schema = make_db()
+        stable_rows = db.table("t").rows()
+        with db.transaction() as txn:
+            txn.insert("t", (5, 1, "x"))
+            txn.modify("t", (5,), "a", 2)
+        with db.transaction() as txn:
+            txn.delete("t", (5,))
+        self.replay_check(db, schema, stable_rows)
+
+
+class TestFilePersistence:
+    def test_roundtrip_via_file(self, tmp_path):
+        db, schema = make_db(tmp_path)
+        stable_rows = db.table("t").rows()
+        db.insert("t", (5, 1, "x"))
+        db.modify("t", (10,), "b", "mod")
+
+        loaded = WriteAheadLog.load(tmp_path / "wal.jsonl")
+        assert len(loaded) == 2
+        fresh = {"t": PDT(schema)}
+        replay_into(loaded, fresh)
+        assert merge_rows(stable_rows, fresh["t"]) == db.image_rows("t")
+
+    def test_truncate_clears_file(self, tmp_path):
+        db, _ = make_db(tmp_path)
+        db.insert("t", (5, 1, "x"))
+        db.checkpoint("t")
+        loaded = WriteAheadLog.load(tmp_path / "wal.jsonl")
+        assert len(loaded) == 0
