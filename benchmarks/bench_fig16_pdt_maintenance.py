@@ -144,3 +144,68 @@ def test_fig16_delete(benchmark, grown, size):
 
     benchmark.pedantic(run, setup=setup, rounds=5, iterations=1)
     _record(benchmark, size, "delete")
+
+
+# -- checkpoint-scheduler companion series -----------------------------------
+#
+# The paper's maintenance costs assume something keeps the PDT small. This
+# series trickles the same scattered update stream through a Database under
+# each scheduler policy and reports total wall clock plus the residual
+# delta footprint — the amortization trade the scheduler buys.
+
+_sched_report = Report(
+    "Figure 16 companion: trickle updates under checkpoint policies",
+    ["policy", "total_ms", "residual_entries", "checkpoints", "range_folds"],
+)
+
+_POLICIES = [
+    ("manual-never", None),
+    ("updates-cap", "updates:2000"),
+    ("hot-ranges", "hot-ranges:4"),
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def sched_report_at_end():
+    yield
+    if _sched_report.rows:
+        _sched_report.print()
+        _sched_report.save("fig16_checkpoint_policies")
+
+
+@pytest.mark.parametrize("label,spec", _POLICIES)
+def test_fig16_scheduler_amortization(benchmark, label, spec):
+    from repro import Database
+    from repro.workloads import build_table, generate_ops
+
+    n_rows = scaled(50_000)
+    table = build_table(n_rows, n_data_cols=2)
+    ops = generate_ops(table, updates_per_100=5.0, seed=3)
+
+    def setup():
+        db = Database(block_rows=4096, checkpoint_policy=spec)
+        db.create_table_from_arrays(
+            "micro", table.schema,
+            {c: table.column(c).values for c in table.schema.column_names},
+        )
+        return (db,), {}
+
+    def run(db):
+        for op in ops:
+            if op[0] == "ins":
+                db.insert("micro", op[1])
+            elif op[0] == "del":
+                db.delete("micro", op[1])
+            else:
+                db.modify("micro", op[1], op[2], op[3])
+        _sched_report.add(
+            label,
+            0.0,  # patched below with the measured mean
+            db.manager.state_of("micro").read_pdt.count()
+            + db.manager.state_of("micro").write_pdt.count(),
+            db.scheduler.stats.checkpoints,
+            db.scheduler.stats.range_checkpoints,
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=1, iterations=1)
+    _sched_report.rows[-1][1] = benchmark.stats["mean"] * 1000

@@ -79,6 +79,35 @@ def test_fig17_pdt(benchmark, cases, n, key_type, rate):
                 benchmark.stats["mean"] * 1000)
 
 
+@pytest.mark.parametrize("rate", RATES)
+def test_fig17_pdt_layer_stack(benchmark, cases, rate):
+    """Three-layer block pipeline vs the single-layer scan.
+
+    Splits the largest int workload's PDT across Read/Write/Trans-shaped
+    layers and streams blocks through the composed stack — the shape every
+    transactional query takes. The pipeline never materializes between
+    layers, so the cost should stay close to the single-layer row.
+    """
+    from repro.core import PDT, merge_scan_layers
+
+    n = SIZES[-1]
+    wl, pdt, _ = cases[(n, "int", rate)]
+    cols = list(wl.data_columns)
+    # Lower layer: the existing PDT. Upper layer: empty (the common case
+    # of a read-only transaction), exercising the skip-fast-path.
+    upper = PDT(wl.table.schema)
+    result = benchmark.pedantic(
+        lambda: consume(
+            merge_scan_layers(wl.table, [pdt, upper], columns=cols,
+                              batch_rows=BATCH_ROWS)
+        ),
+        rounds=3, iterations=1,
+    )
+    assert result == wl.table.num_rows + pdt.total_delta()
+    _report.add(n, "int", rate, "PDT-stack",
+                benchmark.stats["mean"] * 1000)
+
+
 @pytest.mark.parametrize("n,key_type,rate", list(_params()))
 def test_fig17_vdt(benchmark, cases, n, key_type, rate):
     wl, _, vdt = cases[(n, key_type, rate)]

@@ -6,7 +6,14 @@ Propagate / Serialize transaction-management transformations.
 """
 
 from .flat_pdt import FlatPDT
-from .merge import BlockMerger, merge_row_stream, merge_rows, merge_scan
+from .merge import (
+    BlockMerger,
+    MERGE_BLOCK_ROWS,
+    merge_row_stream,
+    merge_rows,
+    merge_scan,
+    reblock,
+)
 from .pdt import PDT
 from .propagate import propagate
 from .serialize import serialize
@@ -32,6 +39,8 @@ from .value_space import ValueSpace
 __all__ = [
     "BlockMerger",
     "Entry",
+    "MERGE_BLOCK_ROWS",
+    "reblock",
     "FlatPDT",
     "KIND_DEL",
     "KIND_INS",

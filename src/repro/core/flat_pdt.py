@@ -50,6 +50,23 @@ class FlatPDT:
             yield Entry(sid, sid + delta, kind, ref)
             delta += delta_of(kind)
 
+    def entry_lists(self, start_sid: int = 0, stop_sid: int | None = None):
+        """Parallel ``(sids, kinds, refs)`` lists of entries with SID in
+        ``[start_sid, stop_sid)`` (bulk interface shared with the tree
+        PDT)."""
+        sids: list[int] = []
+        kinds: list[int] = []
+        refs: list[int] = []
+        for sid, kind, ref in self._entries:
+            if sid < start_sid:
+                continue
+            if stop_sid is not None and sid >= stop_sid:
+                break
+            sids.append(sid)
+            kinds.append(kind)
+            refs.append(ref)
+        return sids, kinds, refs
+
     def value_of(self, entry: Entry):
         return self.values.value_of(entry.kind, entry.ref)
 

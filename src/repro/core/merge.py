@@ -3,25 +3,34 @@
 Two variants are provided:
 
 * :func:`merge_row_stream` — the tuple-at-a-time next() loop of the paper's
-  Algorithm 2, kept close to the pseudocode; used for clarity and as a
-  second implementation in differential tests.
-* :class:`BlockMerger` — the block-oriented pipelined variant the paper's
+  Algorithm 2, kept close to the pseudocode; used for clarity and as the
+  oracle in differential tests.
+* :class:`BlockMerger` — the block-pipelined vectorized variant the paper's
   evaluation uses ("as the skip value is typically large, in many cases
-  this allows to pass through entire blocks of tuples unmodified"). It
-  consumes batches of column vectors and applies deletes as masks, modifies
-  as scatter writes, and inserts via positional ``np.insert`` — never
-  touching sort-key values.
+  this allows to pass through entire blocks of tuples unmodified"). For
+  every incoming block it first builds one *splice plan* — the runs of
+  unmodified stable rows between consecutive PDT entries, plus the output
+  offsets where inserts land and modifies scatter — and then replays that
+  plan once per projected column with whole ``np.ndarray`` slice copies.
+  No per-row Python loop runs on the data path, blocks with no PDT entries
+  pass through untouched (zero copy), and sort-key columns are never read.
 
 Both work on any object implementing the PDT interface (FlatPDT or the
 tree PDT) and on any batch source, so stacked layers (Read/Write/Trans)
-compose by feeding one merger's output into the next.
+compose by feeding one merger's output into the next — the whole stack
+pipelines blocks without ever materializing an intermediate row list.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .types import PDTError
+from .types import KIND_DEL, KIND_INS, PDTError
+
+#: Default number of rows per merged output block. Chosen to keep a block
+#: of a handful of int64/float64 columns comfortably inside L2 while still
+#: amortizing per-block Python overhead (see DESIGN.md).
+MERGE_BLOCK_ROWS = 1024
 
 
 def merge_row_stream(rows, pdt):
@@ -65,6 +74,31 @@ def merge_row_stream(rows, pdt):
         entry = next(entries, None)
 
 
+class _SplicePlan:
+    """One block's merge, described once and replayed per column.
+
+    ``segments`` lists ``(out_start, src_start, src_stop)`` copy runs of
+    stable rows (block-relative); ``ins_positions`` / ``ins_rows`` are the
+    output offsets and full tuples of spliced inserts; ``mods`` maps a
+    column name to parallel ``(out_offsets, values)`` lists. ``out_n`` is
+    the merged block length. A plan that turns out to be the identity is
+    marked ``passthrough`` so callers can skip all copying.
+    """
+
+    __slots__ = (
+        "out_n", "segments", "ins_positions", "ins_rows", "mods",
+        "passthrough",
+    )
+
+    def __init__(self):
+        self.out_n = 0
+        self.segments: list[tuple[int, int, int]] = []
+        self.ins_positions: list[int] = []
+        self.ins_rows: list = []
+        self.mods: dict[str, tuple[list[int], list]] = {}
+        self.passthrough = False
+
+
 class BlockMerger:
     """Vectorized positional merge of one PDT layer over a batch stream."""
 
@@ -75,6 +109,7 @@ class BlockMerger:
         self._col_indexes = [
             self.schema.column_index(c) for c in self.columns
         ]
+        self._wanted = frozenset(self.columns)
 
     def merge_batches(
         self,
@@ -82,6 +117,7 @@ class BlockMerger:
         start_rid: int | None = None,
         drain_tail: bool = True,
         start_sid: int = 0,
+        stop_sid: int | None = None,
     ):
         """Yield ``(first_rid, {column: ndarray})`` with updates applied.
 
@@ -94,61 +130,55 @@ class BlockMerger:
         ``drain_tail`` controls whether inserts positioned after the last
         incoming tuple are emitted — True for scans reaching the end of the
         underlying domain, False for range scans that stop mid-table.
+        ``stop_sid`` (range scans only; ignored when draining the tail)
+        bounds the PDT entry walk to the scanned range.
         """
         if not self.columns:
             raise ValueError("merge requires at least one output column")
-        entries = self.pdt.iter_entries(start_sid=start_sid)
-        entry = next(entries, None)
+        sids, kinds, refs = self._entries_from(
+            start_sid, stop_sid if not drain_tail else None
+        )
+        m = len(sids)
+        i = 0
         out_rid = None
         stream_end = start_sid
         for first_sid, arrays in batches:
-            n = len(arrays[self.columns[0]]) if self.columns else 0
+            n = len(arrays[self.columns[0]])
             stop_sid = first_sid + n
             stream_end = stop_sid
             if out_rid is None:
                 base = first_sid + self.pdt.delta_before_sid(first_sid)
                 out_rid = base if start_rid is None else start_rid
                 # Skip entries strictly before the scanned range.
-                while entry is not None and entry.sid < first_sid:
-                    entry = next(entries, None)
-            deletes = []
-            inserts = []  # (sid, ref) in chain order
-            mods: dict[str, list] = {}
-            while entry is not None and entry.sid < stop_sid:
-                if entry.is_insert:
-                    inserts.append((entry.sid, entry.ref))
-                elif entry.is_delete:
-                    deletes.append(entry.sid)
-                else:
-                    name = self.schema.columns[entry.kind].name
-                    if name in self.columns:
-                        mods.setdefault(name, []).append(
-                            (
-                                entry.sid,
-                                self.pdt.values.get_modify(
-                                    entry.kind, entry.ref
-                                ),
-                            )
-                        )
-                entry = next(entries, None)
-            merged = self._apply(
-                arrays, first_sid, n, deletes, inserts, mods
-            )
-            out_n = len(merged[self.columns[0]]) if self.columns else 0
-            if out_n:
-                yield out_rid, merged
-                out_rid += out_n
+                while i < m and sids[i] < first_sid:
+                    i += 1
+            if i >= m or sids[i] >= stop_sid:
+                # Fast path: no PDT entry lands in this block — the whole
+                # block passes through unmodified, straight from storage.
+                if n:
+                    yield out_rid, arrays
+                    out_rid += n
+                continue
+            plan, i = self._plan(sids, kinds, refs, i, first_sid, n)
+            if plan.passthrough:
+                if n:
+                    yield out_rid, arrays
+                    out_rid += n
+                continue
+            if plan.out_n:
+                yield out_rid, self._apply(plan, arrays)
+                out_rid += plan.out_n
         if not drain_tail:
             return
         # Drain trailing inserts (sid == end of the underlying domain).
         tail = []
-        while entry is not None:
-            if not entry.is_insert or entry.sid < stream_end:
+        while i < m:
+            if kinds[i] != KIND_INS or sids[i] < stream_end:
                 raise PDTError(
-                    f"non-insert entry beyond scan end: sid={entry.sid}"
+                    f"non-insert entry beyond scan end: sid={sids[i]}"
                 )
-            tail.append(entry.ref)
-            entry = next(entries, None)
+            tail.append(refs[i])
+            i += 1
         if tail:
             if out_rid is None:
                 out_rid = (
@@ -156,67 +186,121 @@ class BlockMerger:
                     if start_rid is None
                     else start_rid
                 )
-            arrays = self._insert_rows_only(tail)
-            yield out_rid, arrays
+            yield out_rid, self._insert_rows_only(tail)
 
     # -- internals -----------------------------------------------------------
 
-    def _apply(self, arrays, first_sid, n, deletes, inserts, mods):
-        keep = None
-        if deletes:
-            keep = np.ones(n, dtype=bool)
-            keep[np.asarray(deletes) - first_sid] = False
-        out = {}
-        ins_positions, ins_rows = self._insert_layout(
-            inserts, first_sid, n, keep
-        )
-        for col, col_idx in zip(self.columns, self._col_indexes):
-            arr = arrays[col]
-            col_mods = mods.get(col)
-            if col_mods is not None:
-                arr = arr.copy()
-                idx = np.asarray([m[0] for m in col_mods]) - first_sid
-                vals = [m[1] for m in col_mods]
-                if arr.dtype == object:
-                    for i, v in zip(idx, vals):
-                        arr[i] = v
-                else:
-                    arr[idx] = np.asarray(vals, dtype=arr.dtype)
-            if keep is not None:
-                arr = arr[keep]
-            if ins_rows:
-                values = [row[col_idx] for row in ins_rows]
-                if arr.dtype == object:
-                    merged = np.empty(len(arr) + len(values), dtype=object)
-                    mask = np.ones(len(merged), dtype=bool)
-                    where = ins_positions + np.arange(len(ins_positions))
-                    mask[where] = False
-                    merged[~mask] = values
-                    merged[mask] = arr
-                    arr = merged
-                else:
-                    arr = np.insert(arr, ins_positions, values)
-            out[col] = arr
-        return out
+    def _entries_from(self, start_sid: int, stop_sid: int | None = None):
+        """Bulk ``(sids, kinds, refs)`` of the PDT in ``[start_sid,
+        stop_sid)``.
 
-    def _insert_layout(self, inserts, first_sid, n, keep):
-        if not inserts:
-            return None, []
-        if keep is None:
-            kept_before = None
-        else:
-            kept_before = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(keep, out=kept_before[1:])
-        positions = []
-        rows = []
-        for sid, ref in inserts:
+        Uses the PDT's :meth:`entry_lists` fast path when the structure
+        provides one, falling back to generic entry iteration for any
+        other object implementing the PDT interface.
+        """
+        bulk = getattr(self.pdt, "entry_lists", None)
+        if bulk is not None:
+            return bulk(start_sid, stop_sid)
+        sids: list[int] = []
+        kinds: list[int] = []
+        refs: list[int] = []
+        for entry in self.pdt.iter_entries():
+            if entry.sid < start_sid:
+                continue
+            if stop_sid is not None and entry.sid >= stop_sid:
+                break
+            sids.append(entry.sid)
+            kinds.append(entry.kind)
+            refs.append(entry.ref)
+        return sids, kinds, refs
+
+    def _plan(self, sids, kinds, refs, i: int, first_sid: int, n: int):
+        """Consume this block's entries into a :class:`_SplicePlan`.
+
+        Walks the entry arrays exactly once; entries are in (SID, RID)
+        order, so inserts at a SID precede that tuple's DEL or MOD chain
+        and a delete's ghost can never be modified afterwards — which is
+        what lets ``src`` advance monotonically.
+        """
+        plan = _SplicePlan()
+        segments = plan.segments
+        stop_sid = first_sid + n
+        out_pos = 0
+        src = 0
+        values = self.pdt.values
+        schema_cols = self.schema.columns
+        wanted = self._wanted
+        m = len(sids)
+        while i < m:
+            sid = sids[i]
+            if sid >= stop_sid:
+                break
             rel = sid - first_sid
-            if kept_before is None:
-                positions.append(rel)
+            kind = kinds[i]
+            if kind == KIND_INS:
+                if rel > src:
+                    segments.append((out_pos, src, rel))
+                    out_pos += rel - src
+                    src = rel
+                plan.ins_positions.append(out_pos)
+                plan.ins_rows.append(values.get_insert(refs[i]))
+                out_pos += 1
+            elif kind == KIND_DEL:
+                if rel > src:
+                    segments.append((out_pos, src, rel))
+                    out_pos += rel - src
+                src = rel + 1
             else:
-                positions.append(int(kept_before[rel]))
-            rows.append(self.pdt.values.get_insert(ref))
-        return np.asarray(positions, dtype=np.int64), rows
+                name = schema_cols[kind].name
+                if name in wanted:
+                    slot = plan.mods.get(name)
+                    if slot is None:
+                        slot = plan.mods[name] = ([], [])
+                    slot[0].append(out_pos + (rel - src))
+                    slot[1].append(values.get_modify(kind, refs[i]))
+            i += 1
+        if src < n:
+            segments.append((out_pos, src, n))
+            out_pos += n - src
+        plan.out_n = out_pos
+        plan.passthrough = (
+            not plan.ins_rows
+            and not plan.mods
+            and len(segments) == 1
+            and segments[0] == (0, 0, n)
+        )
+        return plan, i
+
+    def _apply(self, plan: _SplicePlan, arrays):
+        """Replay one splice plan against every projected column."""
+        out = {}
+        ins_idx = None
+        for col, col_idx in zip(self.columns, self._col_indexes):
+            src_arr = arrays[col]
+            dst = np.empty(plan.out_n, dtype=src_arr.dtype)
+            for out_start, src_start, src_stop in plan.segments:
+                dst[out_start:out_start + (src_stop - src_start)] = \
+                    src_arr[src_start:src_stop]
+            col_mods = plan.mods.get(col)
+            if col_mods is not None:
+                idx, vals = col_mods
+                if dst.dtype == object:
+                    for i, v in zip(idx, vals):
+                        dst[i] = v
+                else:
+                    dst[np.asarray(idx, dtype=np.intp)] = \
+                        np.asarray(vals, dtype=dst.dtype)
+            if plan.ins_rows:
+                if ins_idx is None:
+                    ins_idx = np.asarray(plan.ins_positions, dtype=np.intp)
+                vals = [row[col_idx] for row in plan.ins_rows]
+                if dst.dtype == object:
+                    for i, v in zip(plan.ins_positions, vals):
+                        dst[i] = v
+                else:
+                    dst[ins_idx] = np.asarray(vals, dtype=dst.dtype)
+            out[col] = dst
+        return out
 
     def _insert_rows_only(self, refs):
         out = {}
@@ -232,12 +316,76 @@ class BlockMerger:
         return out
 
 
-def merge_scan(stable, pdt, columns=None, start=0, stop=None, batch_rows=1024):
-    """Block-oriented MergeScan over a stable table and one PDT layer.
+def reblock(stream, block_rows: int = MERGE_BLOCK_ROWS):
+    """Normalize a ``(first_pos, {col: ndarray})`` stream to fixed-size blocks.
+
+    Merged streams produce blocks whose sizes drift with the local net
+    delta (deletes shrink a block, inserts grow it). Consumers that want a
+    steady block size — operator pipelines sized for a cache budget, the
+    fixed-stride kernels in :mod:`repro.engine` — wrap the stream in
+    ``reblock``. Full input blocks that already match ``block_rows`` pass
+    through without copying; only stragglers are stitched.
+    """
+    if block_rows <= 0:
+        raise ValueError("block_rows must be positive")
+    pending: list[dict] = []  # buffered partial batches, in order
+    pending_rows = 0
+    pos = None
+
+    def flush(count):
+        nonlocal pending, pending_rows, pos
+        take, taken = [], 0
+        while taken < count:
+            head = pending[0]
+            head_n = len(next(iter(head.values())))
+            if taken + head_n <= count:
+                take.append(head)
+                taken += head_n
+                pending.pop(0)
+            else:
+                split = count - taken
+                take.append({c: a[:split] for c, a in head.items()})
+                pending[0] = {c: a[split:] for c, a in head.items()}
+                taken = count
+        if len(take) == 1:
+            block = take[0]
+        else:
+            block = {
+                c: np.concatenate([piece[c] for piece in take])
+                for c in take[0]
+            }
+        out = (pos, block)
+        pos += count
+        pending_rows -= count
+        return out
+
+    for first_pos, arrays in stream:
+        n = len(next(iter(arrays.values())))
+        if n == 0:
+            continue
+        if pos is None:
+            pos = first_pos
+        if not pending and n == block_rows:
+            yield pos, arrays  # aligned full block: zero-copy pass-through
+            pos += n
+            continue
+        pending.append(arrays)
+        pending_rows += n
+        while pending_rows >= block_rows:
+            yield flush(block_rows)
+    if pending_rows:
+        yield flush(pending_rows)
+
+
+def merge_scan(stable, pdt, columns=None, start=0, stop=None,
+               batch_rows=MERGE_BLOCK_ROWS):
+    """Block-pipelined MergeScan over a stable table and one PDT layer.
 
     Yields ``(first_rid, {column: ndarray})``. Only the requested columns
     are read from stable storage — positional merging never needs the sort
-    key (the paper's core advantage).
+    key (the paper's core advantage) — and stable blocks untouched by the
+    PDT are passed through as direct references to the decoded storage
+    blocks.
     """
     if columns is None:
         columns = stable.schema.column_names
@@ -249,6 +397,7 @@ def merge_scan(stable, pdt, columns=None, start=0, stop=None, batch_rows=1024):
         batches,
         drain_tail=full_to_end,
         start_sid=min(start, stable.num_rows),
+        stop_sid=None if full_to_end else stop,
     )
 
 

@@ -172,6 +172,53 @@ class PDT:
                 pos += 1
             leaf, pos = leaf.next, 0
 
+    def entry_lists(self, start_sid: int = 0, stop_sid: int | None = None):
+        """Parallel ``(sids, kinds, refs)`` lists of entries with SID in
+        ``[start_sid, stop_sid)``, in (SID, RID) order.
+
+        The bulk form of :meth:`iter_entries` used by the block-pipelined
+        MergeScan: leaves are drained with ``list.extend`` so the hot scan
+        path never pays per-entry generator resumption or :class:`Entry`
+        construction. ``stop_sid`` bounds the walk for range scans, so a
+        narrow scan of a large PDT stays proportional to the range.
+        """
+        sids: list[int] = []
+        kinds: list[int] = []
+        refs: list[int] = []
+        if start_sid <= 0:
+            leaf = self._leftmost_leaf()
+            pos = 0
+        else:
+            leaf, _ = self._descend_leftmost_by_sid(start_sid)
+            pos = 0
+            while leaf is not None:
+                while pos < len(leaf) and leaf.sids[pos] < start_sid:
+                    pos += 1
+                if pos < len(leaf):
+                    break
+                leaf, pos = leaf.next, 0
+        while leaf is not None:
+            if stop_sid is not None and leaf.sids and \
+                    leaf.sids[-1] >= stop_sid:
+                # Partial leaf at the range end: take entries below stop.
+                while pos < len(leaf) and leaf.sids[pos] < stop_sid:
+                    sids.append(leaf.sids[pos])
+                    kinds.append(leaf.kinds[pos])
+                    refs.append(leaf.refs[pos])
+                    pos += 1
+                break
+            if pos:
+                sids.extend(leaf.sids[pos:])
+                kinds.extend(leaf.kinds[pos:])
+                refs.extend(leaf.refs[pos:])
+                pos = 0
+            else:
+                sids.extend(leaf.sids)
+                kinds.extend(leaf.kinds)
+                refs.extend(leaf.refs)
+            leaf = leaf.next
+        return sids, kinds, refs
+
     def value_of(self, entry: Entry):
         return self.values.value_of(entry.kind, entry.ref)
 

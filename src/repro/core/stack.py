@@ -5,11 +5,18 @@ of PDT layers (equation (9)): typically Read-PDT, Write-PDT snapshot, and
 Trans-PDT. Each layer's SID domain is the RID domain of the layer below.
 This module composes :class:`~repro.core.merge.BlockMerger` instances over
 a stable scan and validates layer relationships.
+
+The composition is a *block pipeline*: every layer is a generator splicing
+its updates into the blocks of the layer below, so a block flows from the
+decoded storage block through the whole Read/Write/Trans stack — and out
+to the consumer — before the next block is touched. No intermediate row
+list (or intermediate relation) is ever materialized, and blocks no layer
+touches are passed through the entire stack by reference.
 """
 
 from __future__ import annotations
 
-from .merge import BlockMerger, merge_row_stream
+from .merge import MERGE_BLOCK_ROWS, BlockMerger, merge_row_stream
 
 
 def merge_scan_layers(
@@ -18,7 +25,7 @@ def merge_scan_layers(
     columns=None,
     start: int = 0,
     stop: int | None = None,
-    batch_rows: int = 1024,
+    batch_rows: int = MERGE_BLOCK_ROWS,
 ):
     """Block-oriented MergeScan through a stack of PDT layers, bottom-up.
 
@@ -35,17 +42,21 @@ def merge_scan_layers(
     full = stop is None or stop >= stable.num_rows
     stream = stable.scan(columns=columns, start=start, stop=stop,
                          batch_rows=batch_rows)
-    # Each layer's scan start is the previous layer's output position of
-    # the first scanned row: pos_{i+1} = pos_i + delta_before(pos_i).
-    # Empty layers are identity merges and are skipped outright.
+    # Each layer's scan bounds are the previous layer's output positions
+    # of the range ends: pos_{i+1} = pos_i + delta_before(pos_i) (deltas
+    # strictly before a position, so boundary inserts stay in the next
+    # range). Empty layers are identity merges and are skipped outright.
     pos = min(start, stable.num_rows)
+    stop_pos = None if full else stop
     for pdt in layers:
         if pdt.is_empty():
             continue
         stream = BlockMerger(pdt, columns).merge_batches(
-            stream, drain_tail=full, start_sid=pos
+            stream, drain_tail=full, start_sid=pos, stop_sid=stop_pos
         )
         pos = pos + pdt.delta_before_sid(pos)
+        if stop_pos is not None:
+            stop_pos = stop_pos + pdt.delta_before_sid(stop_pos)
     return stream
 
 

@@ -2,15 +2,21 @@
 
 This is the public entry point a downstream user starts from::
 
-    db = Database(compressed=True)
+    db = Database(compressed=True, checkpoint_policy="hot-ranges:4")
     db.create_table("inventory", schema, rows)
     with db.transaction() as txn:
         txn.insert("inventory", ("Berlin", "table", "Y", 10))
     rel = db.query("inventory", columns=["store", "qty"])
 
 Internally each table is an ordered, block-compressed stable image plus the
-three-layer PDT stack of the paper; queries are positional MergeScans that
-never read columns the query does not name.
+three-layer PDT stack of the paper; queries are block-pipelined positional
+MergeScans that never read columns the query does not name, and delta
+maintenance (Propagate / checkpoint) runs autonomously under the configured
+checkpoint policy instead of requiring manual ``checkpoint()`` calls.
+
+See ``README.md`` for the layer map this facade fronts and ``DESIGN.md``
+for how the block-pipelined MergeScan and the checkpoint scheduler deviate
+from (and extend) the paper's C implementation.
 """
 
 from __future__ import annotations
@@ -28,12 +34,41 @@ from ..storage.schema import Schema
 from ..storage.table import StableTable
 from ..txn.checkpoint import checkpoint_table, delta_memory_usage
 from ..txn.manager import TransactionManager
+from ..txn.scheduler import CheckpointScheduler, policy_from_spec
 from ..txn.transaction import Transaction
 from ..txn.wal import WriteAheadLog
 
 
 class Database:
-    """An updatable columnar database with PDT-based update handling."""
+    """An updatable columnar database with PDT-based update handling.
+
+    Constructor parameters:
+
+    ``compressed``
+        Store stable column blocks compressed (the paper's server
+        configuration) or plain. Affects simulated I/O volume only.
+    ``block_rows``
+        Rows per stored column block; scan batches align to this so
+        untouched blocks flow through MergeScan by reference.
+    ``buffer_capacity``
+        Buffer-pool budget in bytes (``None`` = unbounded).
+    ``sparse_granularity``
+        Rows per sparse-index entry on each stable image.
+    ``wal_path``
+        Optional path for a persistent write-ahead log.
+    ``write_pdt_limit_bytes``
+        Budget used by the manual :meth:`maintain` convenience.
+    ``checkpoint_policy``
+        Maintenance automation. ``None`` (default) keeps the seed's
+        manual behaviour; a spec string — ``"memory:<bytes>"``,
+        ``"updates:<entries>"``, ``"hot-ranges:<k>"`` — or any
+        :class:`~repro.txn.scheduler.CheckpointPolicy` instance enables
+        the checkpoint scheduler: the policy is consulted after every
+        committing transaction, and deferred work (blocked by concurrent
+        transactions) is drained between queries. See
+        :mod:`repro.txn.scheduler` for the policy catalogue and
+        ``DESIGN.md`` for the cost model.
+    """
 
     def __init__(
         self,
@@ -43,6 +78,7 @@ class Database:
         sparse_granularity: int = 4096,
         wal_path=None,
         write_pdt_limit_bytes: int = 1 << 20,
+        checkpoint_policy=None,
     ):
         self.io = IOStats()
         self.store = BlockStore(compressed=compressed, block_rows=block_rows)
@@ -53,6 +89,10 @@ class Database:
             sparse_granularity=sparse_granularity,
         )
         self.write_pdt_limit_bytes = write_pdt_limit_bytes
+        self.scheduler = CheckpointScheduler(
+            self.manager, policy_from_spec(checkpoint_policy)
+        )
+        self.manager.add_commit_listener(self.scheduler.on_commit)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -117,7 +157,14 @@ class Database:
     def query(self, table: str, columns=None,
               timer: ScanTimer | None = None,
               batch_rows: int = 4096) -> Relation:
-        """Scan the latest committed state (positional merge, no locks)."""
+        """Scan the latest committed state (positional merge, no locks).
+
+        Only the named ``columns`` are read from storage. Maintenance the
+        checkpoint scheduler had to defer (because transactions were
+        running when its policy fired) is drained here, *between* queries,
+        so PDT layers shrink back without a stop-the-world pause.
+        """
+        self.scheduler.run_pending(table)
         state = self.manager.state_of(table)
         return scan_pdt(
             state.stable,
@@ -181,14 +228,21 @@ class Database:
     # -- maintenance --------------------------------------------------------------------
 
     def maintain(self, table: str) -> None:
-        """Propagate the Write-PDT down when it outgrows its budget."""
+        """Manually propagate the Write-PDT down when it outgrows its
+        budget. With a ``checkpoint_policy`` configured this happens
+        autonomously; the method remains for explicit control."""
         self.manager.maybe_propagate(table, self.write_pdt_limit_bytes)
 
     def checkpoint(self, table: str) -> None:
-        """Fold all deltas into a fresh stable image (quiescent only)."""
+        """Fold all deltas into a fresh stable image (quiescent only).
+
+        The manual, stop-the-world form; ``checkpoint_policy=`` runs full
+        or incremental checkpoints automatically instead.
+        """
         checkpoint_table(self.manager, table)
 
     def delta_bytes(self, table: str) -> int:
+        """Bytes of RAM-resident delta state (PDT entries, paper model)."""
         return delta_memory_usage(self.manager, table)
 
     # -- temperature control (benchmarks) ---------------------------------------------------

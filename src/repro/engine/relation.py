@@ -66,7 +66,9 @@ class Relation:
                 pieces[c].append(arrays[c])
         out = {}
         for c in columns:
-            if pieces[c]:
+            if len(pieces[c]) == 1:
+                out[c] = pieces[c][0]  # single block: no concat copy
+            elif pieces[c]:
                 out[c] = np.concatenate(pieces[c])
             else:
                 out[c] = np.empty(0, dtype=object)

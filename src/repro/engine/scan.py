@@ -7,7 +7,14 @@ Three scan modes mirror the paper's three TPC-H configurations:
   reads sort-key columns unless the query asks for them.
 * :func:`scan_vdt` — value-based merge; always reads sort-key columns.
 
-Each records the wall-clock *scan time* (data access + merging) in an
+All three are *block-pipelined*: stable storage yields decoded blocks,
+each PDT layer splices its updates in block-at-a-time (see
+:class:`repro.core.merge.BlockMerger`), and only the terminal
+``Relation.from_batches`` materializes. Streaming consumers that want the
+merged image without materialization use :func:`scan_pdt_blocks`, which
+additionally normalizes output to fixed-size blocks.
+
+Each scan records the wall-clock *scan time* (data access + merging) in an
 optional :class:`ScanTimer`, which Figure 19's harness uses to split query
 time into scan vs processing components.
 """
@@ -17,6 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from ..core.merge import MERGE_BLOCK_ROWS, reblock
 from ..core.stack import merge_scan_layers
 from ..vdt.merge import vdt_merge_scan
 from .relation import Relation
@@ -70,6 +78,26 @@ def scan_pdt(table, layers, columns=None, timer: ScanTimer | None = None,
     if timer is not None:
         timer.add(table.name, time.perf_counter() - start)
     return rel
+
+
+def scan_pdt_blocks(table, layers, columns=None, start: int = 0,
+                    stop: int | None = None,
+                    block_rows: int = MERGE_BLOCK_ROWS):
+    """Stream the merged table image as fixed-size blocks.
+
+    The pipelined form of :func:`scan_pdt`: yields
+    ``(first_rid, {column: ndarray})`` blocks of exactly ``block_rows``
+    rows (the last may be shorter) without ever materializing the full
+    relation — the shape operator pipelines and shard fan-out consume.
+    Merged block sizes drift with the local insert/delete balance, so the
+    layered stream is re-normalized with :func:`repro.core.merge.reblock`;
+    untouched full blocks still pass through without copying.
+    """
+    if columns is None:
+        columns = list(table.schema.column_names)
+    stream = merge_scan_layers(table, layers, columns=columns, start=start,
+                               stop=stop, batch_rows=block_rows)
+    return reblock(stream, block_rows=block_rows)
 
 
 def scan_vdt(table, vdt, columns=None, timer: ScanTimer | None = None,

@@ -98,6 +98,18 @@ class BlockStore:
         start = block * self.block_rows
         return start, start + self.block_rows
 
+    def aligned_stop(self, start_row: int, stop_row: int) -> int:
+        """Clamp a batch ending at ``stop_row`` to the first block boundary
+        after ``start_row``.
+
+        Scan batches that never straddle a stored block decode to plain
+        views of the cached block — the zero-copy pass-through the
+        block-pipelined MergeScan relies on — instead of concatenations of
+        partial blocks.
+        """
+        boundary = (start_row // self.block_rows + 1) * self.block_rows
+        return min(stop_row, boundary)
+
     def blocks_for_rows(self, start_row: int, stop_row: int):
         """Block indexes overlapping the row range ``[start_row, stop_row)``."""
         if stop_row <= start_row:

@@ -83,6 +83,16 @@ class BufferPool:
         self._cache.clear()
         self._cached_bytes = 0
 
+    def evict_table(self, table: str) -> None:
+        """Evict one table's blocks, keeping the rest of the pool hot.
+
+        Checkpoints rebuild a single table's stable image; evicting only
+        its stale blocks means an incremental checkpoint does not turn
+        every other table's next scan cold.
+        """
+        for key in [k for k in self._cache if k.table == table]:
+            self._cached_bytes -= self._block_nbytes(self._cache.pop(key))
+
     def warm_table(self, table: str, columns=None) -> None:
         """Pre-load a table's blocks without counting the reads as query I/O.
 
@@ -105,6 +115,10 @@ class BufferPool:
     # -- internals ---------------------------------------------------------
 
     def _insert(self, key: BlockKey, data: np.ndarray) -> None:
+        # Cached blocks flow by reference through MergeScan pass-through
+        # into query results; freeze them so an aliasing write raises
+        # instead of silently corrupting every later read of the block.
+        data.setflags(write=False)
         size = self._block_nbytes(data)
         if self.capacity_bytes is not None:
             while self._cached_bytes + size > self.capacity_bytes and self._cache:

@@ -25,6 +25,12 @@ class Column:
         arr = np.asarray(values, dtype=dtype.numpy_dtype)
         if arr.ndim != 1:
             raise ValueError("column values must be one-dimensional")
+        # Column vectors flow by reference through MergeScan pass-through
+        # into query results; freeze so aliasing writes raise instead of
+        # silently mutating the stable image. (np.asarray returns the
+        # caller's own array when dtypes match — that array is frozen too,
+        # which is the immutability the stable table requires anyway.)
+        arr.setflags(write=False)
         self.values = arr
 
     @classmethod

@@ -138,15 +138,24 @@ class StableTable:
         stop: int | None = None,
         batch_rows: int = DEFAULT_BATCH_ROWS,
     ):
-        """Yield ``(first_sid, {column: ndarray})`` batches over ``[start, stop)``."""
+        """Yield ``(first_sid, {column: ndarray})`` batches over ``[start, stop)``.
+
+        When the table is attached to storage, batch boundaries are snapped
+        to stored-block boundaries so every batch is a zero-copy view of a
+        single decoded block (batches are then at most ``batch_rows`` long,
+        never longer).
+        """
         if columns is None:
             columns = self.schema.column_names
         if stop is None:
             stop = self.num_rows
         stop = min(stop, self.num_rows)
+        store = self._pool.store if self._pool is not None else None
         pos = start
         while pos < stop:
             hi = min(pos + batch_rows, stop)
+            if store is not None:
+                hi = store.aligned_stop(pos, hi)
             yield pos, {c: self.read_rows(c, pos, hi) for c in columns}
             pos = hi
 

@@ -1,23 +1,56 @@
-"""PDT-based ACID transaction management (paper section 3.3)."""
+"""PDT-based ACID transaction management (paper section 3.3) plus the
+cost-based checkpoint scheduler that keeps the delta structures small."""
 
-from .checkpoint import checkpoint_all, checkpoint_table, delta_memory_usage
+from .checkpoint import (
+    checkpoint_all,
+    checkpoint_table,
+    checkpoint_table_range,
+    delta_memory_usage,
+)
 from .manager import ManagerStats, TableState, TransactionManager
 from .recovery import recover_database, recover_manager
+from .scheduler import (
+    CheckpointPolicy,
+    CheckpointScheduler,
+    CompositePolicy,
+    Decision,
+    HotRangePolicy,
+    MaintenanceAction,
+    MemoryThresholdPolicy,
+    NeverPolicy,
+    SchedulerStats,
+    TableLoad,
+    UpdateCountPolicy,
+    policy_from_spec,
+)
 from .transaction import Transaction, TransactionError, TxnStatus
 from .wal import WalRecord, WriteAheadLog, replay_into
 
 __all__ = [
+    "CheckpointPolicy",
+    "CheckpointScheduler",
+    "CompositePolicy",
+    "Decision",
+    "HotRangePolicy",
+    "MaintenanceAction",
     "ManagerStats",
+    "MemoryThresholdPolicy",
+    "NeverPolicy",
+    "SchedulerStats",
+    "TableLoad",
     "TableState",
     "Transaction",
     "TransactionError",
     "TransactionManager",
     "TxnStatus",
+    "UpdateCountPolicy",
     "WalRecord",
     "WriteAheadLog",
     "checkpoint_all",
     "checkpoint_table",
+    "checkpoint_table_range",
     "delta_memory_usage",
+    "policy_from_spec",
     "recover_database",
     "recover_manager",
     "replay_into",

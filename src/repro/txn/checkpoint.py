@@ -6,12 +6,28 @@ applied, the Read-PDT is emptied, and query processing switches over
 (paper section 2, "Checkpointing"). SIDs are renumbered by this operation
 — the only event in a tuple's lifetime that changes its SID — so the
 sparse index is rebuilt and the WAL can be truncated.
+
+Two granularities are provided:
+
+* :func:`checkpoint_table` — the paper's stop-the-world fold of *all*
+  deltas into a fresh stable image.
+* :func:`checkpoint_table_range` — an incremental fold of one stable SID
+  range, SynchroStore-style: only the blocks covering the range are
+  rewritten, entries outside the range survive with rebased SIDs, and the
+  rest of the buffer pool stays hot. The cost-based policies in
+  :mod:`repro.txn.scheduler` use it to drain the hottest block ranges
+  between queries instead of stalling on a full rewrite.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
+from ..core.merge import BlockMerger
 from ..core.pdt import PDT
 from ..core.stack import image_rows
+from ..core.types import KIND_DEL, KIND_INS
+from ..storage.column import Column
 from ..storage.sparse_index import SparseIndex
 from ..storage.table import StableTable
 from .manager import TransactionManager
@@ -41,6 +57,10 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
     state.write_pdt = PDT(state.schema)
     state.sparse_index = SparseIndex(new_stable, manager.sparse_granularity)
     manager._snapshot_cache.pop(table, None)
+    # This table's logged deltas are folded into the new image; drop them
+    # from the WAL so recovery cannot double-apply them (other tables'
+    # records stay).
+    manager.wal.rebase_table(table)
     _truncate_wal_if_clean(manager)
     return new_stable
 
@@ -48,6 +68,105 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
 def checkpoint_all(manager: TransactionManager) -> None:
     for name in manager.table_names():
         checkpoint_table(manager, name)
+
+
+def checkpoint_table_range(manager: TransactionManager, table: str,
+                           sid_lo: int, sid_hi: int) -> int:
+    """Incrementally fold deltas of one stable SID range ``[sid_lo, sid_hi)``
+    into the stable image, leaving the rest of the table's deltas in place.
+
+    The committed Write-PDT is first propagated down so the Read-PDT holds
+    every committed delta, then the range is merged and spliced between the
+    untouched stable prefix and suffix. Entries outside the range survive:
+    prefix entries verbatim, suffix entries with SIDs rebased by the
+    range's net row-count change (the only SIDs the rebuild renumbers).
+    A range reaching the table end also folds trailing inserts.
+
+    Requires a quiescent point, like every stable-image rewrite. Returns
+    the number of update entries folded (0 when the range was clean; the
+    stable image is left untouched in that case).
+    """
+    if sid_hi < sid_lo:
+        raise ValueError(f"bad checkpoint range [{sid_lo}, {sid_hi})")
+    if manager.running_count():
+        raise TransactionError("checkpoint requires no running transactions")
+    state = manager.state_of(table)
+    manager.propagate_write_to_read(table)
+    read_pdt = state.read_pdt
+    if read_pdt.is_empty():
+        return 0
+    n_rows = state.stable.num_rows
+    sid_lo = max(0, min(sid_lo, n_rows))
+    to_end = sid_hi >= n_rows
+    sid_hi = min(sid_hi, n_rows)
+
+    sids, kinds, refs = read_pdt.entry_lists()
+    in_range = [
+        i for i, sid in enumerate(sids)
+        if sid_lo <= sid < sid_hi or (to_end and sid >= sid_hi)
+    ]
+    if not in_range:
+        return 0
+
+    # Merge just the range through a single-layer BlockMerger.
+    schema = state.schema
+    columns = list(schema.column_names)
+    merger = BlockMerger(read_pdt, columns)
+    merged: dict[str, list[np.ndarray]] = {c: [] for c in columns}
+    batches = state.stable.scan(columns=columns, start=sid_lo, stop=sid_hi)
+    for _, arrays in merger.merge_batches(batches, drain_tail=to_end,
+                                          start_sid=sid_lo):
+        for c in columns:
+            merged[c].append(arrays[c])
+
+    old_len = sid_hi - sid_lo
+    new_len = sum(len(a) for a in merged[columns[0]]) if columns else 0
+    shift = new_len - old_len
+
+    new_columns = []
+    for spec in schema.columns:
+        col = state.stable.column(spec.name)
+        pieces = [col.slice(0, sid_lo)] + merged[spec.name] \
+            + [col.slice(sid_hi, n_rows)]
+        new_columns.append(
+            Column(spec.name, spec.dtype,
+                   np.concatenate([p for p in pieces if len(p)])
+                   if any(len(p) for p in pieces)
+                   else np.empty(0, dtype=spec.dtype.numpy_dtype))
+        )
+    new_stable = StableTable(table, schema, new_columns)
+
+    # Rebase the surviving entries into a fresh Read-PDT.
+    survivor = PDT(schema, fanout=read_pdt.fanout)
+    folded = 0
+    for sid, kind, ref in zip(sids, kinds, refs):
+        if sid_lo <= sid < sid_hi or (to_end and sid >= sid_hi):
+            folded += 1
+            continue
+        new_sid = sid if sid < sid_lo else sid + shift
+        if kind == KIND_INS:
+            payload = list(read_pdt.values.get_insert(ref))
+        elif kind == KIND_DEL:
+            payload = read_pdt.values.get_delete(ref)
+        else:
+            payload = read_pdt.values.get_modify(kind, ref)
+        survivor.append_entry(new_sid, kind, payload)
+
+    pool = state.stable.pool
+    if pool is not None:
+        pool.store.drop_table(table)
+        new_stable.attach_storage(pool)
+        pool.evict_table(table)
+    state.stable = new_stable
+    state.read_pdt = survivor
+    state.sparse_index = SparseIndex(new_stable, manager.sparse_granularity)
+    manager._snapshot_cache.pop(table, None)
+    # Replace this table's WAL history with one snapshot of the surviving
+    # (rebased) deltas: recovery then replays exactly the still-live
+    # entries against the new stable image, never the folded ones.
+    manager.wal.rebase_table(table, survivor, lsn=manager._lsn)
+    _truncate_wal_if_clean(manager)
+    return folded
 
 
 def _truncate_wal_if_clean(manager: TransactionManager) -> None:

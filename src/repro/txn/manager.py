@@ -73,6 +73,16 @@ class TransactionManager:
         self.wal = wal if wal is not None else WriteAheadLog()
         self.sparse_granularity = sparse_granularity
         self.stats = ManagerStats()
+        self._commit_listeners: list = []
+
+    def add_commit_listener(self, listener) -> None:
+        """Register ``listener(tables)`` to run after each successful commit
+        that changed data. Listeners run at the end of Finish, when the
+        committing transaction is already off the running list — so a
+        listener sees a quiescent system whenever no *other* transactions
+        are active (which is what lets the checkpoint scheduler piggyback
+        maintenance on the commit path)."""
+        self._commit_listeners.append(listener)
 
     # -- table registry ---------------------------------------------------------
 
@@ -199,6 +209,9 @@ class TransactionManager:
                 )
         txn.status = TxnStatus.COMMITTED
         self.stats.commits += 1
+        if trans_pdts:
+            for listener in self._commit_listeners:
+                listener(list(trans_pdts))
 
     # -- reads outside transactions ---------------------------------------------------
 

@@ -47,18 +47,10 @@ class WriteAheadLog:
 
     def append_commit(self, lsn: int, table_pdts: dict) -> None:
         """Log a commit: ``table_pdts`` maps table name -> serialized PDT."""
-        tables = {}
-        for name, pdt in table_pdts.items():
-            entries = []
-            for entry in pdt.iter_entries():
-                if entry.kind == KIND_INS:
-                    payload = list(pdt.values.get_insert(entry.ref))
-                elif entry.kind == KIND_DEL:
-                    payload = list(pdt.values.get_delete(entry.ref))
-                else:
-                    payload = pdt.values.get_modify(entry.kind, entry.ref)
-                entries.append((entry.sid, entry.kind, payload))
-            tables[name] = entries
+        tables = {
+            name: self._serialize_pdt(pdt)
+            for name, pdt in table_pdts.items()
+        }
         record = WalRecord(lsn=lsn, tables=tables)
         self.records.append(record)
         if self.path is not None:
@@ -74,6 +66,66 @@ class WriteAheadLog:
         if self.path is not None:
             with open(self.path, "w", encoding="utf-8"):
                 pass
+
+    def rebase_table(self, table: str, snapshot_pdt=None,
+                     lsn: int = 0) -> None:
+        """Drop one table's logged history after its stable image was
+        rebuilt, keeping recovery exact.
+
+        A checkpoint folds logged deltas into the stable image; replaying
+        them again on recovery would double-apply them against renumbered
+        SIDs. Full checkpoints pass ``snapshot_pdt=None`` (every delta
+        folded); incremental range checkpoints pass the *surviving*
+        Read-PDT, which is re-logged as one snapshot record consecutive to
+        the new stable image — so recovery replays exactly the still-live
+        deltas and nothing that was folded. Other tables' records are
+        untouched (their per-commit shares are kept).
+        """
+        rebased = []
+        for record in self.records:
+            if table in record.tables:
+                remaining = {
+                    name: entries
+                    for name, entries in record.tables.items()
+                    if name != table
+                }
+                if not remaining:
+                    continue
+                record = WalRecord(lsn=record.lsn, tables=remaining)
+            rebased.append(record)
+        self.records = rebased
+        if snapshot_pdt is not None and not snapshot_pdt.is_empty():
+            self.records.append(
+                WalRecord(
+                    lsn=lsn,
+                    tables={table: self._serialize_pdt(snapshot_pdt)},
+                )
+            )
+        self._rewrite_file()
+
+    @staticmethod
+    def _serialize_pdt(pdt) -> list:
+        """JSON-safe ``(sid, kind, payload)`` entry list of one PDT."""
+        entries = []
+        for entry in pdt.iter_entries():
+            if entry.kind == KIND_INS:
+                payload = list(pdt.values.get_insert(entry.ref))
+            elif entry.kind == KIND_DEL:
+                payload = list(pdt.values.get_delete(entry.ref))
+            else:
+                payload = pdt.values.get_modify(entry.kind, entry.ref)
+            entries.append((entry.sid, entry.kind, payload))
+        return entries
+
+    def _rewrite_file(self) -> None:
+        if self.path is None:
+            return
+        with open(self.path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(
+                    json.dumps(self._to_json(record), default=_to_native)
+                    + "\n"
+                )
 
     def __len__(self) -> int:
         return len(self.records)

@@ -178,3 +178,21 @@ class TestUpdateProcessor:
         up = PositionalUpdater(stable, [pdt], None)
         up.insert((1, 0, "x"))
         assert find_rid_by_key(stable, [pdt], None, (1,)) == 1
+
+
+def test_query_results_cannot_corrupt_storage_via_aliasing():
+    """Pass-through blocks alias storage; writes must raise, not corrupt."""
+    import numpy as np
+    import pytest
+
+    from repro import Database, DataType, Schema
+
+    schema = Schema.build(("k", DataType.INT64), ("v", DataType.INT64),
+                          sort_key=("k",))
+    db = Database(block_rows=1024)
+    db.create_table("t", schema, [(i, i) for i in range(100)])
+    rel = db.query("t", columns=["v"])
+    with pytest.raises(ValueError):
+        rel["v"][0] = 777_777
+    again = db.query("t", columns=["v"])
+    assert int(again["v"][0]) == 0  # storage unharmed

@@ -113,3 +113,63 @@ class TestFilePersistence:
         db.checkpoint("t")
         loaded = WriteAheadLog.load(tmp_path / "wal.jsonl")
         assert len(loaded) == 0
+
+
+class TestCheckpointRebase:
+    """Stable-image rewrites must rebase the WAL so recovery replays only
+    the still-live deltas — never ones already folded into the image."""
+
+    def replay_after_crash(self, db, schema):
+        """Replay the current WAL onto the current stable image (the state
+        a crash right now would recover from)."""
+        stable_rows = db.table("t").rows()
+        fresh = {name: PDT(db.table(name).schema)
+                 for name in db.table_names()}
+        replay_into(db.manager.wal, fresh)
+        return merge_rows(stable_rows, fresh["t"])
+
+    def test_incremental_checkpoint_survives_crash(self):
+        from repro.txn import checkpoint_table_range
+
+        db, schema = make_db(n=40)
+        for i in range(4):
+            db.delete("t", (i * 10,))          # deltas in block-0 area
+        db.modify("t", (300,), "a", 777)       # delta far after the range
+        db.insert("t", (305, 5, "late"))
+        checkpoint_table_range(db.manager, "t", 0, 8)
+        # Post-checkpoint commits extend the rebased log.
+        db.modify("t", (310,), "b", "post")
+        assert self.replay_after_crash(db, schema) == db.image_rows("t")
+
+    def test_full_checkpoint_of_one_table_keeps_other_tables_wal(self):
+        db, schema = make_db(n=10)
+        other = Schema.build(("k", DataType.INT64), ("a", DataType.INT64),
+                             sort_key=("k",))
+        db.create_table("u", other, [(i, i) for i in range(5)])
+        db.insert("t", (5, 1, "x"))
+        db.modify("u", (2,), "a", 99)
+        db.checkpoint("t")                     # u still dirty: WAL survives
+        # t's share of the log is gone, u's remains.
+        assert all("t" not in r.tables for r in db.manager.wal.records)
+        assert any("u" in r.tables for r in db.manager.wal.records)
+        assert self.replay_after_crash(db, schema) == db.image_rows("t")
+        fresh = {"t": PDT(schema), "u": PDT(other)}
+        replay_into(db.manager.wal, fresh)
+        assert merge_rows(db.table("u").rows(), fresh["u"]) \
+            == db.image_rows("u")
+
+    def test_rebase_persists_to_wal_file(self, tmp_path):
+        from repro.txn import checkpoint_table_range
+
+        db, schema = make_db(tmp_path, n=40)
+        for i in range(4):
+            db.modify("t", (i * 10,), "a", 1)
+        db.modify("t", (300,), "a", 2)
+        checkpoint_table_range(db.manager, "t", 0, 8)
+        loaded = WriteAheadLog.load(tmp_path / "wal.jsonl")
+        fresh = {"t": PDT(schema)}
+        replay_into(loaded, fresh)
+        assert merge_rows(db.table("t").rows(), fresh["t"]) \
+            == db.image_rows("t")
+        # Only the surviving delta is logged, not the folded history.
+        assert sum(len(r.tables.get("t", ())) for r in loaded.records) == 1
