@@ -31,9 +31,10 @@ from .core import (
     merge_scan,
     merge_scan_layers,
     propagate,
+    propagate_batch,
     serialize,
 )
-from .db import Database
+from .db import BatchUpdater, Database
 from .engine import Relation, ScanTimer, scan_clean, scan_pdt, scan_vdt
 from .storage import (
     BlockStore,
@@ -50,6 +51,7 @@ from .vdt import VDT, vdt_merge_scan
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchUpdater",
     "BlockStore",
     "BufferPool",
     "Database",
@@ -73,6 +75,7 @@ __all__ = [
     "merge_scan",
     "merge_scan_layers",
     "propagate",
+    "propagate_batch",
     "scan_clean",
     "scan_pdt",
     "scan_vdt",

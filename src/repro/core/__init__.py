@@ -15,7 +15,7 @@ from .merge import (
     reblock,
 )
 from .pdt import PDT
-from .propagate import propagate
+from .propagate import MERGE_FOLD_RATIO, propagate, propagate_batch
 from .serialize import serialize
 from .shadow import ShadowTable
 from .stack import (
@@ -58,7 +58,9 @@ __all__ = [
     "merge_rows_layers",
     "merge_scan",
     "merge_scan_layers",
+    "MERGE_FOLD_RATIO",
     "propagate",
+    "propagate_batch",
     "serialize",
     "total_delta",
 ]

@@ -98,6 +98,22 @@ class FlatPDT:
             ref = self.values.add_modify(kind, payload)
         self._entries.append([sid, kind, ref])
 
+    def bulk_append_entries(self, triples) -> None:
+        """Ingest a whole SID-ordered ``(sid, kind, payload)`` run at once
+        (bulk interface shared with the tree PDT)."""
+        last = self._entries[-1][0] if self._entries else None
+        for sid, kind, payload in triples:
+            if last is not None and sid < last:
+                raise PDTError(f"bulk append out of order: sid {sid} < {last}")
+            last = sid
+            if kind == KIND_INS:
+                ref = self.values.add_insert(payload)
+            elif kind == KIND_DEL:
+                ref = self.values.add_delete(payload)
+            else:
+                ref = self.values.add_modify(kind, payload)
+            self._entries.append([sid, kind, ref])
+
     # -- update operations ---------------------------------------------------
 
     def add_insert(self, sid: int, rid: int, row) -> None:

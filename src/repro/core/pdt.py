@@ -403,6 +403,67 @@ class PDT:
             ref = self.values.add_modify(kind, payload)
         self._leaf_insert(leaf, len(leaf), sid, kind, ref)
 
+    def bulk_append_entries(self, triples) -> None:
+        """Ingest a whole SID-ordered ``(sid, kind, payload)`` run at once.
+
+        The bulk twin of :meth:`append_entry` used by the batch update
+        path, ``propagate_batch`` and WAL replay. On an empty tree the
+        leaves and inner levels are built bottom-up in one pass — no
+        per-entry root descents, no incremental splits; on a non-empty
+        tree the run (which must still sort after every existing entry)
+        falls back to per-entry appends.
+        """
+        triples = list(triples)
+        if not triples:
+            return
+        for i in range(1, len(triples)):
+            if triples[i][0] < triples[i - 1][0]:
+                raise PDTError(
+                    f"bulk append out of order: sid {triples[i][0]} < "
+                    f"{triples[i - 1][0]}"
+                )
+        if self._count:
+            for sid, kind, payload in triples:
+                self.append_entry(sid, kind, payload)
+            return
+        refs = []
+        for _, kind, payload in triples:
+            if kind == KIND_INS:
+                refs.append(self.values.add_insert(payload))
+            elif kind == KIND_DEL:
+                refs.append(self.values.add_delete(payload))
+            else:
+                refs.append(self.values.add_modify(kind, payload))
+        # Leaves at ~2/3 occupancy so follow-up scalar adds do not split
+        # immediately; inner levels chunked the same way.
+        per_leaf = max(2, (self.fanout * 2) // 3)
+        leaves: list[_Leaf] = []
+        for at in range(0, len(triples), per_leaf):
+            chunk = triples[at:at + per_leaf]
+            leaf = _Leaf()
+            leaf.sids = [t[0] for t in chunk]
+            leaf.kinds = [t[1] for t in chunk]
+            leaf.refs = refs[at:at + per_leaf]
+            if leaves:
+                leaf.prev = leaves[-1]
+                leaves[-1].next = leaf
+            leaves.append(leaf)
+        self._count = len(triples)
+        level: list = leaves
+        while len(level) > 1:
+            parents: list = []
+            for at in range(0, len(level), per_leaf):
+                chunk = level[at:at + per_leaf]
+                inner = _Inner()
+                inner.children = chunk
+                inner.seps = [c.min_sid() for c in chunk]
+                inner.deltas = [c.subtree_delta() for c in chunk]
+                for child in chunk:
+                    child.parent = inner
+                parents.append(inner)
+            level = parents
+        self._root = level[0]
+
     # ------------------------------------------------------------------
     # housekeeping
 

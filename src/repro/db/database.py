@@ -148,9 +148,16 @@ class Database:
             txn.modify(table, sk, column, value)
 
     def insert_many(self, table: str, rows) -> None:
+        """Bulk-insert ``rows`` in one transaction via the batch path."""
+        self.apply_batch(table, [("ins", row) for row in rows])
+
+    def apply_batch(self, table: str, ops) -> int:
+        """Apply a whole update batch — ``("ins", row) | ("del", sk) |
+        ("mod", sk, column, value)`` — as one transaction through the
+        vectorized bulk path (one WAL record, one resolution sweep).
+        Returns the number of operations applied."""
         with self.transaction() as txn:
-            for row in rows:
-                txn.insert(table, row)
+            return txn.apply_batch(table, ops)
 
     # -- queries ---------------------------------------------------------------------
 

@@ -45,8 +45,39 @@ class RefreshApplier:
 
     # -- PDT mode -----------------------------------------------------------
 
-    def apply_pdt(self, db: Database, pair: RefreshPair) -> None:
-        """RF1 then RF2 as two transactions against the PDT database."""
+    def refresh_ops(self, pair: RefreshPair) -> tuple[dict, dict]:
+        """The pair's logical updates as per-table op batches:
+        ``(rf1_ops, rf2_ops)`` mapping table name -> operation list."""
+        rf1 = {
+            "orders": [("ins", row) for row in pair.new_orders],
+            "lineitem": [("ins", row) for row in pair.new_lineitems],
+        }
+        rf2: dict[str, list] = {"orders": [], "lineitem": []}
+        for orderkey in pair.delete_orderkeys:
+            orderdate = self._date_index[orderkey]
+            rf2["orders"].append(("del", (orderdate, orderkey)))
+            for line in self._line_index.get(orderkey, ()):
+                rf2["lineitem"].append(("del", (orderkey, line)))
+        return rf1, rf2
+
+    def apply_pdt(self, db: Database, pair: RefreshPair,
+                  bulk: bool = True) -> None:
+        """RF1 then RF2 as two transactions against the PDT database.
+
+        The default routes each refresh through the vectorized bulk path
+        (one batch per table per transaction — one WAL record per
+        refresh half); ``bulk=False`` keeps the per-row scalar path as
+        the differential-testing oracle.
+        """
+        if bulk:
+            rf1, rf2 = self.refresh_ops(pair)
+            with db.transaction() as txn:
+                for table, ops in rf1.items():
+                    txn.apply_batch(table, ops)
+            with db.transaction() as txn:
+                for table, ops in rf2.items():
+                    txn.apply_batch(table, ops)
+            return
         with db.transaction() as txn:
             for row in pair.new_orders:
                 txn.insert("orders", row)
@@ -59,9 +90,9 @@ class RefreshApplier:
                 for line in self._line_index.get(orderkey, ()):
                     txn.delete("lineitem", (orderkey, line))
 
-    def apply_all_pdt(self, db: Database) -> None:
+    def apply_all_pdt(self, db: Database, bulk: bool = True) -> None:
         for pair in self.data.refreshes:
-            self.apply_pdt(db, pair)
+            self.apply_pdt(db, pair, bulk=bulk)
 
     # -- VDT mode -----------------------------------------------------------
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.pdt import PDT
-from ..core.propagate import propagate
+from ..core.propagate import propagate_batch
 from ..core.serialize import serialize
 from ..core.types import TransactionConflict
 from ..storage.sparse_index import SparseIndex
@@ -195,7 +195,7 @@ class TransactionManager:
             self._lsn += 1
             for name, pdt in trans_pdts.items():
                 state = self.state_of(name)
-                propagate(state.write_pdt, pdt)
+                propagate_batch(state.write_pdt, pdt)
                 state.last_commit_lsn = self._lsn
                 self.stats.propagations += 1
             self.wal.append_commit(self._lsn, trans_pdts)
@@ -242,7 +242,7 @@ class TransactionManager:
         state = self.state_of(table)
         if state.write_pdt.is_empty():
             return
-        propagate(state.read_pdt, state.write_pdt)
+        propagate_batch(state.read_pdt, state.write_pdt)
         state.write_pdt = PDT(state.schema)
         self._snapshot_cache.pop(table, None)
         self.stats.propagations += 1

@@ -14,13 +14,18 @@ from .manager import TransactionManager
 from .wal import WriteAheadLog, replay_into
 
 
-def recover_manager(manager: TransactionManager,
-                    wal: WriteAheadLog) -> int:
+def recover_manager(manager: TransactionManager, wal: WriteAheadLog,
+                    max_records: int | None = None) -> int:
     """Replay ``wal`` into a freshly built manager.
 
     The manager must already have its tables registered (from the on-disk
     stable images) and hold no running transactions or delta state.
     Returns the last LSN applied; the manager's clock resumes from there.
+
+    ``max_records`` replays only a prefix of whole records — the state
+    recovered after a crash at that record boundary. Batched records make
+    each prefix transaction-consistent (a commit batch is one record, so
+    it is replayed all-or-nothing).
     """
     if manager.running_count():
         raise RuntimeError("recovery requires a quiescent manager")
@@ -35,15 +40,18 @@ def recover_manager(manager: TransactionManager,
         name: manager.state_of(name).write_pdt
         for name in manager.table_names()
     }
-    last_lsn = replay_into(wal, pdts)
+    last_lsn = replay_into(wal, pdts, max_records=max_records)
     manager._lsn = max(manager._lsn, last_lsn)
-    for record in wal.records:
+    replayed = wal.records if max_records is None else \
+        wal.records[:max_records]
+    for record in replayed:
         for name in record.tables:
             manager.state_of(name).last_commit_lsn = record.lsn
     manager.wal = wal
     return last_lsn
 
 
-def recover_database(db, wal: WriteAheadLog) -> int:
+def recover_database(db, wal: WriteAheadLog,
+                     max_records: int | None = None) -> int:
     """Database-level convenience wrapper around :func:`recover_manager`."""
-    return recover_manager(db.manager, wal)
+    return recover_manager(db.manager, wal, max_records=max_records)

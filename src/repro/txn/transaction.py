@@ -21,8 +21,8 @@ from __future__ import annotations
 import enum
 
 from ..core.pdt import PDT
-from ..core.propagate import propagate
-from ..db.update_processor import PositionalUpdater
+from ..core.propagate import propagate_batch
+from ..db.update_processor import BatchUpdater, PositionalUpdater
 from ..engine.relation import Relation
 from ..engine.scan import scan_pdt
 
@@ -132,6 +132,17 @@ class Transaction:
         self._require_active()
         self._updater(table).modify_at(rid, column, value)
 
+    def apply_batch(self, table: str, ops) -> int:
+        """Apply a whole ``("ins", row) | ("del", sk) | ("mod", sk, col,
+        value)`` batch through the vectorized bulk path; returns the
+        number of operations applied. All-or-nothing: key errors are
+        raised before anything lands in the Trans-PDT."""
+        self._require_active()
+        state = self._manager.state_of(table)
+        return BatchUpdater(
+            state.stable, self._update_layers(table), state.sparse_index
+        ).apply(ops)
+
     # -- query-level isolation (footnote 5) -------------------------------------
 
     def begin_query(self) -> None:
@@ -151,7 +162,7 @@ class Transaction:
                 self._trans[table] = PDT(
                     self._manager.state_of(table).schema
                 )
-            propagate(self._trans[table], qpdt)
+            propagate_batch(self._trans[table], qpdt)
         self._query = None
 
     # -- lifecycle ---------------------------------------------------------------

@@ -6,6 +6,15 @@ throughput. Our WAL records, per commit, the *serialized* Trans-PDT entry
 list of every touched table: each record is consecutive to the previous
 database state, so replaying records in LSN order through Propagate
 reconstructs the master Write-PDT exactly (see :func:`replay_into`).
+
+Records are *batched*: one record per commit regardless of how many
+updates the transaction (or a ``apply_batch`` bulk commit) carried, with
+the entry lists exported in bulk (``entry_lists``) and replayed in bulk
+(``bulk_append_entries`` + ``propagate_batch``) — the WAL leg of the
+vectorized update path. A record is also the unit of recovery atomicity:
+replay applies whole records only, so a crash between records (exercised
+by ``replay_into(..., max_records=N)``) always recovers a transaction
+all-or-nothing.
 """
 
 from __future__ import annotations
@@ -105,16 +114,20 @@ class WriteAheadLog:
 
     @staticmethod
     def _serialize_pdt(pdt) -> list:
-        """JSON-safe ``(sid, kind, payload)`` entry list of one PDT."""
+        """JSON-safe ``(sid, kind, payload)`` entry list of one PDT,
+        exported with the bulk leaf-drain interface (no per-entry
+        ``Entry`` construction on the commit path)."""
+        sids, kinds, refs = pdt.entry_lists()
+        values = pdt.values
         entries = []
-        for entry in pdt.iter_entries():
-            if entry.kind == KIND_INS:
-                payload = list(pdt.values.get_insert(entry.ref))
-            elif entry.kind == KIND_DEL:
-                payload = list(pdt.values.get_delete(entry.ref))
+        for sid, kind, ref in zip(sids, kinds, refs):
+            if kind == KIND_INS:
+                payload = list(values.get_insert(ref))
+            elif kind == KIND_DEL:
+                payload = list(values.get_delete(ref))
             else:
-                payload = pdt.values.get_modify(entry.kind, entry.ref)
-            entries.append((entry.sid, entry.kind, payload))
+                payload = values.get_modify(kind, ref)
+            entries.append((sid, kind, payload))
         return entries
 
     def _rewrite_file(self) -> None:
@@ -152,27 +165,36 @@ class WriteAheadLog:
         return wal
 
 
-def replay_into(wal: WriteAheadLog, pdts: dict) -> int:
-    """Re-apply every logged commit to fresh master Write-PDTs.
+def replay_into(wal: WriteAheadLog, pdts: dict,
+                max_records: int | None = None) -> int:
+    """Re-apply logged commits to fresh master Write-PDTs.
 
     ``pdts`` maps table name -> empty PDT (one per table). Records are
-    consecutive, so each entry list can be appended directly (its SIDs are
-    already in the RID domain of the state produced by the previous
-    records) and folded in with Propagate. Returns the last LSN replayed.
+    consecutive, so each entry list can be bulk-loaded directly (its SIDs
+    are already in the RID domain of the state produced by the previous
+    records) and folded in with the sorted-run Propagate. Returns the
+    last LSN replayed.
+
+    ``max_records`` stops replay after that many records — the state a
+    crash at that record boundary would recover to. Records are the unit
+    of atomicity: a prefix of whole records is always a transaction-
+    consistent image.
     """
-    from ..core.propagate import propagate
+    from ..core.propagate import propagate_batch
 
     last_lsn = 0
-    for record in wal.records:
+    records = wal.records if max_records is None else \
+        wal.records[:max_records]
+    for record in records:
         for name, entries in record.tables.items():
             if name not in pdts:
                 raise KeyError(f"WAL references unknown table {name!r}")
             target = pdts[name]
             staging = target.__class__(target.schema)
-            for sid, kind, payload in entries:
-                if kind == KIND_DEL:
-                    payload = tuple(payload)
-                staging.append_entry(sid, kind, payload)
-            propagate(target, staging)
+            staging.bulk_append_entries(
+                (sid, kind, tuple(payload) if kind == KIND_DEL else payload)
+                for sid, kind, payload in entries
+            )
+            propagate_batch(target, staging)
         last_lsn = record.lsn
     return last_lsn

@@ -4,6 +4,7 @@ from .generator import (
     MicroWorkload,
     apply_ops_pdt,
     apply_ops_vdt,
+    canonical_ops,
     build_table,
     build_workload,
     generate_ops,
@@ -16,6 +17,7 @@ __all__ = [
     "apply_ops_vdt",
     "build_table",
     "build_workload",
+    "canonical_ops",
     "generate_ops",
     "micro_schema",
 ]

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.pdt import PDT
-from ..db.update_processor import PositionalUpdater
+from ..db.update_processor import BatchUpdater, PositionalUpdater
 from ..storage.schema import DataType, Schema
 from ..storage.sparse_index import SparseIndex
 from ..storage.table import StableTable
@@ -169,10 +169,26 @@ def generate_ops(
     return ops
 
 
+def canonical_ops(ops) -> list[tuple]:
+    """Strip the VDT-only trailing fields off a generated op stream,
+    yielding the ``("ins", row) | ("del", sk) | ("mod", sk, col, value)``
+    form the batch update path consumes."""
+    return [op if op[0] != "mod" else op[:4] for op in ops]
+
+
 def apply_ops_pdt(table: StableTable, ops, sparse_index=None,
-                  fanout: int = 32) -> PDT:
-    """Apply a generated op stream through the positional machinery."""
+                  fanout: int = 32, bulk: bool = False) -> PDT:
+    """Apply a generated op stream through the positional machinery.
+
+    ``bulk=True`` routes the whole stream through
+    :class:`~repro.db.update_processor.BatchUpdater` in one batch; the
+    default per-op scalar path is the differential-testing oracle (and
+    what the maintenance-cost benchmarks deliberately measure).
+    """
     pdt = PDT(table.schema, fanout=fanout)
+    if bulk:
+        BatchUpdater(table, [pdt], sparse_index).apply(canonical_ops(ops))
+        return pdt
     updater = PositionalUpdater(table, [pdt], sparse_index)
     for op in ops:
         if op[0] == "ins":

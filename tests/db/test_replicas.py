@@ -95,6 +95,107 @@ class TestReplicaMaintenance:
         assert {r[0] for r in rep.image_rows()} == live
 
 
+class TestReplicaBatchFanOut:
+    """apply_batch must behave like the equivalent scalar method
+    sequence: one transaction, every replica consistent, and later ops
+    seeing earlier ops' effects."""
+
+    def test_batch_matches_scalar_sequence(self):
+        db_b, rep_b, rows = make_replicated()
+        db_s, rep_s, _ = make_replicated()
+        ops = (
+            [("ins", (100 + i, 1000 + i % 90, i)) for i in range(10)]
+            + [("del", (i,)) for i in range(0, 10, 2)]
+            + [("mod", (i,), "amount", 7 * i) for i in range(11, 20, 2)]
+            + [("mod", (21,), "date", 1099)]  # replica-1 sort-key column
+        )
+        rep_b.apply_batch(ops)
+        for op in ops:
+            if op[0] == "ins":
+                rep_s.insert(op[1])
+            elif op[0] == "del":
+                rep_s.delete(op[1])
+            else:
+                rep_s.modify(op[1], op[2], op[3])
+        for replica in rep_b.replica_names:
+            assert db_b.image_rows(replica) == db_s.image_rows(replica)
+        rep_b.check_replicas_consistent()
+
+    def test_batch_is_one_transaction(self):
+        db, rep, rows = make_replicated()
+        before = db.manager.stats.commits
+        rep.apply_batch([("ins", (200, 1001, 5)), ("del", (3,)),
+                         ("mod", (5,), "amount", 1)])
+        assert db.manager.stats.commits == before + 1
+
+    def test_insert_then_modify_same_key(self):
+        db, rep, rows = make_replicated()
+        rep.apply_batch([("ins", (300, 1005, 1)),
+                         ("mod", (300,), "amount", 42)])
+        rep.check_replicas_consistent()
+        assert [r for r in rep.image_rows() if r[0] == 300][0][2] == 42
+
+    def test_modify_then_delete_same_key(self):
+        db, rep, rows = make_replicated()
+        rep.apply_batch([("mod", (7,), "date", 1077), ("del", (7,))])
+        rep.check_replicas_consistent()
+        assert all(r[0] != 7 for r in rep.image_rows())
+
+    def test_primary_key_rename_then_address_new_key(self):
+        """A primary-SK column modify renames the row; later ops must
+        address it by the new key (and the old key must be gone)."""
+        schema = Schema.build(
+            ("order_id", DataType.INT64), ("amount", DataType.INT64),
+            sort_key=("order_id",),
+        )
+        db = Database(compressed=False)
+        rep = ReplicatedTable(db, "t", schema,
+                              sort_orders=[("order_id",), ("amount",)],
+                              rows=[(i, 50 + i) for i in range(10)])
+        rep.apply_batch([("mod", (4,), "order_id", 400),
+                         ("mod", (400,), "amount", 9)])
+        rep.check_replicas_consistent()
+        rows = rep.image_rows()
+        assert all(r[0] != 4 for r in rows)
+        assert [r for r in rows if r[0] == 400][0][1] == 9
+        with pytest.raises(KeyError):
+            rep.apply_batch([("mod", (4,), "amount", 1)])
+
+    def test_unresolvable_key_raises_before_applying(self):
+        db, rep, rows = make_replicated()
+        before = {r: db.image_rows(r) for r in rep.replica_names}
+        with pytest.raises(KeyError):
+            rep.apply_batch([("ins", (500, 1000, 1)), ("del", (424242,))])
+        for replica, image in before.items():
+            assert db.image_rows(replica) == image
+
+    def test_random_batches_stay_consistent(self):
+        db, rep, rows = make_replicated()
+        rng = random.Random(17)
+        live = {r[0] for r in rows}
+        for _ in range(8):
+            ops, touched = [], set()
+            for _ in range(rng.randrange(2, 12)):
+                k = rng.randrange(500)
+                if k in touched:
+                    continue
+                touched.add(k)
+                if k not in live:
+                    ops.append(("ins", (k, 1000 + k % 90, k)))
+                    live.add(k)
+                elif rng.random() < 0.4:
+                    ops.append(("del", (k,)))
+                    live.discard(k)
+                elif rng.random() < 0.5:
+                    ops.append(("mod", (k,), "amount", rng.randrange(10**6)))
+                else:
+                    ops.append(("mod", (k,), "date",
+                                1000 + rng.randrange(90)))
+            rep.apply_batch(ops)
+        rep.check_replicas_consistent()
+        assert {r[0] for r in rep.image_rows()} == live
+
+
 class TestReplicaRouting:
     def test_replica_for_prefix(self):
         db, rep, rows = make_replicated()

@@ -115,6 +115,91 @@ class TestFilePersistence:
         assert len(loaded) == 0
 
 
+class TestBatchedCrashRecovery:
+    """Batched WAL records: a commit batch is one record, and replay is
+    atomic per record — killing replay at *every* record boundary must
+    recover exactly the image after that many whole transactions, never a
+    partially applied batch."""
+
+    def run_workload(self, db, seed=7, n_commits=12):
+        """Random mix of bulk batches and scalar commits; returns the
+        expected image snapshot after each commit."""
+        rng = random.Random(seed)
+        live = {r[0] for r in db.image_rows("t")}
+        snapshots = [db.image_rows("t")]
+        for _ in range(n_commits):
+            if rng.random() < 0.6:
+                ops, touched = [], set()
+                for _ in range(rng.randrange(2, 10)):
+                    k = rng.randrange(500)
+                    if k in touched:
+                        continue
+                    touched.add(k)
+                    if k not in live:
+                        ops.append(("ins", (k, 0, f"v{k}")))
+                        live.add(k)
+                    elif rng.random() < 0.5:
+                        ops.append(("del", (k,)))
+                        live.discard(k)
+                    else:
+                        ops.append(("mod", (k,), "a", rng.randrange(1000)))
+                db.apply_batch("t", ops)
+            else:
+                k = rng.randrange(500)
+                if k not in live:
+                    db.insert("t", (k, 1, f"s{k}"))
+                    live.add(k)
+                else:
+                    db.delete("t", (k,))
+                    live.discard(k)
+            snapshots.append(db.image_rows("t"))
+        return snapshots
+
+    def test_replay_prefix_at_every_record_boundary(self):
+        db, schema = make_db(n=25)
+        stable_rows = db.table("t").rows()
+        snapshots = self.run_workload(db)
+        assert len(db.manager.wal) == len(snapshots) - 1
+        for k in range(len(db.manager.wal) + 1):
+            fresh = {"t": PDT(schema)}
+            replay_into(db.manager.wal, fresh, max_records=k)
+            assert merge_rows(stable_rows, fresh["t"]) == snapshots[k], \
+                f"crash after record {k} is not transaction-consistent"
+
+    def test_recover_database_prefix(self):
+        """Manager-level recovery with a record cutoff resumes the LSN
+        clock at the crash point and carries the prefix image."""
+        from repro import Database, DataType, Schema
+        from repro.txn import recover_database
+
+        db, schema = make_db(n=25)
+        initial = db.table("t").rows()
+        snapshots = self.run_workload(db, seed=11, n_commits=6)
+        cut = 3
+        fresh_db = Database(compressed=False)
+        fresh_schema = Schema.build(
+            ("k", DataType.INT64), ("a", DataType.INT64),
+            ("b", DataType.STRING), sort_key=("k",),
+        )
+        fresh_db.create_table("t", fresh_schema, initial)
+        last_lsn = recover_database(fresh_db, db.manager.wal,
+                                    max_records=cut)
+        assert last_lsn == db.manager.wal.records[cut - 1].lsn
+        assert fresh_db.image_rows("t") == snapshots[cut]
+        # The recovered manager keeps committing from the crash LSN.
+        fresh_db.insert("t", (901, 1, "post"))
+        assert fresh_db.manager.wal.records[-1].lsn == last_lsn + 1
+
+    def test_bulk_batch_is_single_record(self):
+        db, _ = make_db()
+        db.apply_batch("t", [("ins", (5, 1, "x")), ("del", (20,)),
+                             ("mod", (30,), "a", 9)])
+        assert len(db.manager.wal) == 1
+        (record,) = db.manager.wal.records
+        assert sorted(kind for _, kind, _ in record.tables["t"]) \
+            == [-2, -1, 1]
+
+
 class TestCheckpointRebase:
     """Stable-image rewrites must rebase the WAL so recovery replays only
     the still-live deltas — never ones already folded into the image."""
