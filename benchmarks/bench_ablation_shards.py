@@ -1,0 +1,196 @@
+"""Ablation — range-sharded vs single-table scan+update workloads.
+
+Two gates:
+
+* **Correctness**: at 100k stable rows / 10k scattered ops, the sharded
+  (4-shard) database must produce *byte-identical* scan results to the
+  unsharded oracle — before updates, after the bulk batch, and after a
+  full checkpoint (per-shard stable images concatenated vs the oracle's
+  rewrite).
+* **Speedup**: a skewed scan+update workload under the autonomous
+  checkpoint scheduler must run ≥ 1.5× faster with 4 shards than with 1.
+  The win is the tentpole's point: per-shard maintenance folds the *hot
+  shard* (≈ rows/shards stable rows) where the 1-shard configuration
+  rewrites the whole table, and cold shards are never touched. Scan
+  fan-out additionally runs one MergeScan pipeline per shard on a thread
+  pool (a further win on multi-core hosts; the maintenance asymmetry
+  does not depend on it).
+
+The shard-count scaling series (1/2/4/8 shards) is recorded under
+``benchmarks/results/ablation_shards.json``.
+
+Run: ``pytest benchmarks/bench_ablation_shards.py -q -s``
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database
+from repro.bench import Report, scaled
+from repro.workloads import build_table, canonical_ops, generate_ops
+
+N_ROWS = scaled(100_000)
+SHARD_SERIES = [1, 2, 4, 8]
+ROUNDS = 6
+BATCH = max(N_ROWS // 40, 50)          # hot ops per round
+FOLD_AT = max(int(N_ROWS * 0.04), 120)  # per-shard checkpoint threshold
+
+_report = Report(
+    f"Ablation: skewed scan+update workload vs shard count "
+    f"({N_ROWS} rows, {ROUNDS}x{BATCH} hot ops), ms",
+    ["shards", "ms", "checkpoints"],
+)
+_times: dict[int, float] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    if not _report.rows:
+        return
+    _report.print()
+    _report.save("ablation_shards")
+    speedup = Report(
+        "Ablation: sharded scan+update speedup over 1-shard configuration",
+        ["shards", "speedup_x"],
+    )
+    base = _times.get(1)
+    for shards in SHARD_SERIES:
+        if base is None or shards not in _times:
+            continue
+        speedup.add(shards, base / _times[shards])
+    if speedup.rows:
+        speedup.print()
+        speedup.save("ablation_shards_speedup")
+
+
+def seed_rows():
+    """The microbenchmark table (keys 0,2,...,2N; 4 data columns) as
+    sorted row tuples, the form both table builders accept."""
+    table = build_table(N_ROWS, n_data_cols=4, seed=3)
+    names = list(table.schema.column_names)
+    return table.schema, list(zip(*(table.column(c).values for c in names)))
+
+
+@pytest.fixture(scope="module")
+def base():
+    return seed_rows()
+
+
+def hot_batches(schema, rng_seed: int = 5):
+    """ROUNDS update batches, every key inside the first quarter of the
+    key space — the skew that leaves 3 of 4 shards cold."""
+    import random
+
+    rng = random.Random(rng_seed)
+    hot_hi = N_ROWS // 2  # stable keys are 2i; first quarter of rows
+    batches = []
+    next_odd = 1
+    for _ in range(ROUNDS):
+        ops = []
+        for _ in range(BATCH):
+            if rng.random() < 0.25:
+                ops.append(("ins", (next_odd, 0, 0, 0, 0)))
+                next_odd += 2
+                if next_odd >= hot_hi:
+                    next_odd = 1  # wrapped; fall back to modifies
+                    ops.pop()
+                    continue
+            else:
+                k = rng.randrange(hot_hi // 2) * 2
+                ops.append(("mod", (k,), f"v{rng.randrange(4)}",
+                            rng.randrange(10**6)))
+        batches.append(ops)
+    return batches
+
+
+def run_workload(schema, rows, shards: int) -> tuple[float, Database]:
+    """Skewed update batches interleaved with full scans, maintenance
+    running autonomously under the per-(shard-)table scheduler."""
+    db = Database(compressed=False,
+                  checkpoint_policy=f"updates:{FOLD_AT}")
+    db.create_sharded_table("workload", schema, rows, shards=shards)
+    batches = hot_batches(schema)
+    t0 = time.perf_counter()
+    for ops in batches:
+        seen = {}
+        deduped = []
+        for op in ops:  # same-key mods collapse; keeps batches clean
+            key = (op[0], tuple(op[1]) if op[0] != "ins" else op[1][0],
+                   op[2] if op[0] == "mod" else None)
+            if key in seen:
+                continue
+            seen[key] = True
+            deduped.append(op)
+        db.apply_batch("workload", deduped)
+        rel = db.query("workload", columns=["v0"])
+        assert len(rel["v0"]) > 0
+    elapsed = time.perf_counter() - t0
+    return elapsed, db
+
+
+@pytest.mark.parametrize("shards", SHARD_SERIES)
+def test_scaling_series(base, shards):
+    schema, rows = base
+    elapsed, db = run_workload(schema, rows, shards)
+    _report.add(shards, elapsed * 1000, db.scheduler.stats.checkpoints)
+    _times[shards] = elapsed * 1000
+
+
+def test_acceptance_correctness(base):
+    """Gate (a): sharded scan + bulk-update results byte-identical to the
+    unsharded oracle at 100k rows / 10k ops."""
+    schema, rows = base
+    oracle = Database(compressed=False)
+    oracle.create_table("t", schema, rows)
+    db = Database(compressed=False)
+    db.create_sharded_table("t", schema, rows, shards=4)
+
+    table = build_table(N_ROWS, n_data_cols=4, seed=3)
+    ops = canonical_ops(generate_ops(table, updates_per_100=10.0, seed=11))
+
+    def identical():
+        a = db.query("t")
+        b = oracle.query("t")
+        for c in schema.column_names:
+            assert a[c].tobytes() == b[c].tobytes(), f"column {c} differs"
+
+    identical()
+    assert db.apply_batch("t", ops) == oracle.apply_batch("t", ops) \
+        == len(ops)
+    identical()
+    db.checkpoint("t")
+    oracle.checkpoint("t")
+    identical()
+    # the concatenated shard stable images are the oracle's stable image
+    import numpy as np
+
+    for c in schema.column_names:
+        shard_arrays = [
+            s.stable.column(c).values for s in db.sharded("t").shard_states()
+        ]
+        assert np.concatenate(shard_arrays).tobytes() \
+            == oracle.table("t").column(c).values.tobytes()
+    print(f"\ncorrectness: {len(ops)} ops over {N_ROWS} rows, "
+          f"4-shard results byte-identical to oracle")
+
+
+def test_acceptance_speedup(base):
+    """Gate (b): ≥ 1.5× wall clock for the 4-shard configuration over
+    1-shard on the skewed parallel scan+update workload."""
+    schema, rows = base
+    single_s, single_db = run_workload(schema, rows, shards=1)
+    sharded_s, sharded_db = run_workload(schema, rows, shards=4)
+    assert single_db.row_count("workload") \
+        == sharded_db.row_count("workload")
+    assert single_db.scheduler.stats.checkpoints > 0, \
+        "workload must trigger autonomous maintenance"
+    ratio = single_s / sharded_s
+    print(f"\nacceptance: 4-shard {sharded_s*1e3:.1f} ms, "
+          f"1-shard {single_s*1e3:.1f} ms, speedup {ratio:.2f}x "
+          f"({ROUNDS} rounds x {BATCH} hot ops over {N_ROWS} rows, "
+          f"fold threshold {FOLD_AT})")
+    assert ratio >= 1.5

@@ -36,6 +36,7 @@ from .core import (
 )
 from .db import BatchUpdater, Database
 from .engine import Relation, ScanTimer, scan_clean, scan_pdt, scan_vdt
+from .shard import ShardedTable, ShardRouter
 from .storage import (
     BlockStore,
     BufferPool,
@@ -63,6 +64,8 @@ __all__ = [
     "ScanTimer",
     "Schema",
     "ShadowTable",
+    "ShardRouter",
+    "ShardedTable",
     "SparseIndex",
     "StableTable",
     "Transaction",

@@ -82,12 +82,16 @@ class Database:
     ):
         self.io = IOStats()
         self.store = BlockStore(compressed=compressed, block_rows=block_rows)
+        self.buffer_capacity = buffer_capacity
         self.pool = BufferPool(self.store, self.io,
                                capacity_bytes=buffer_capacity)
         self.manager = TransactionManager(
             wal=WriteAheadLog(wal_path),
             sparse_granularity=sparse_granularity,
         )
+        # Shared with the manager: transactions route logical sharded
+        # names through the same registry.
+        self._sharded: dict = self.manager.sharded_tables
         self.write_pdt_limit_bytes = write_pdt_limit_bytes
         self.scheduler = CheckpointScheduler(
             self.manager, policy_from_spec(checkpoint_policy)
@@ -98,6 +102,7 @@ class Database:
 
     def create_table(self, name: str, schema: Schema, rows=()) -> None:
         """Create and bulk-load an ordered table (sorted by its SK)."""
+        self._check_free_name(name)
         stable = StableTable.bulk_load(name, schema, rows)
         stable.attach_storage(self.pool)
         self.manager.register_table(stable)
@@ -105,15 +110,89 @@ class Database:
     def create_table_from_arrays(self, name: str, schema: Schema,
                                  arrays: dict) -> None:
         """Bulk path for pre-sorted columnar data (dbgen output)."""
+        self._check_free_name(name)
         stable = StableTable.from_arrays(name, schema, arrays)
         stable.attach_storage(self.pool)
         self.manager.register_table(stable)
+
+    def _check_free_name(self, name: str) -> None:
+        # The manager rejects physical duplicates itself; a sharded
+        # *logical* name is not in its registry but would shadow the new
+        # table on every Database entry point.
+        if name in self._sharded:
+            raise ValueError(f"table {name!r} already exists (sharded)")
+
+    def create_sharded_table(self, name: str, schema: Schema, rows=(),
+                             shards: int = 4, boundaries=None,
+                             split_rows: int | None = None,
+                             merge_rows: int | None = None,
+                             parallel: bool = True):
+        """Create a range-sharded logical table (see :mod:`repro.shard`).
+
+        Each shard is a full physical table (own stable image, PDT stack,
+        WAL stream, scheduler load, buffer pool); queries fan out one
+        MergeScan pipeline per shard and updates route by sort key.
+        ``split_rows``/``merge_rows`` arm the autonomous rebalancer; a
+        shard whose stable+delta footprint crosses ``split_rows`` is split
+        between queries, and adjacent shards whose combined footprint
+        falls below ``merge_rows`` are merged. Returns the
+        :class:`~repro.shard.ShardedTable`.
+        """
+        from ..shard.sharded import ShardedTable
+
+        if name in self._sharded or name in self.manager.table_names():
+            raise ValueError(f"table {name!r} already exists")
+        sharded = ShardedTable.create(
+            self, name, schema, rows, shards=shards, boundaries=boundaries,
+            split_rows=split_rows, merge_rows=merge_rows, parallel=parallel,
+        )
+        self._sharded[name] = sharded
+        return sharded
+
+    def create_sharded_table_from_arrays(self, name: str, schema: Schema,
+                                         arrays: dict, shards: int = 4,
+                                         split_rows: int | None = None,
+                                         merge_rows: int | None = None,
+                                         parallel: bool = True):
+        """Sharded twin of :meth:`create_table_from_arrays`: pre-sorted
+        columnar data is sliced per shard with no per-row coercion."""
+        from ..shard.sharded import ShardedTable
+
+        if name in self._sharded or name in self.manager.table_names():
+            raise ValueError(f"table {name!r} already exists")
+        sharded = ShardedTable.create_from_arrays(
+            self, name, schema, arrays, shards=shards,
+            split_rows=split_rows, merge_rows=merge_rows, parallel=parallel,
+        )
+        self._sharded[name] = sharded
+        return sharded
+
+    def sharded(self, name: str):
+        """The :class:`~repro.shard.ShardedTable` behind a logical name."""
+        try:
+            return self._sharded[name]
+        except KeyError:
+            raise KeyError(f"unknown sharded table {name!r}") from None
+
+    def is_sharded(self, name: str) -> bool:
+        return name in self._sharded
+
+    def physical_for(self, table: str, sk) -> str:
+        """Physical table addressed by ``sk``: the owning shard for a
+        sharded table, the table itself otherwise. (Transactions route
+        logical names themselves; this is for introspection.)"""
+        if table in self._sharded:
+            return self._sharded[table].physical_for(sk)
+        return table
 
     def table(self, name: str) -> StableTable:
         return self.manager.state_of(name).stable
 
     def table_names(self) -> list[str]:
         return self.manager.table_names()
+
+    def sharded_names(self) -> list[str]:
+        return list(self._sharded)
 
     # -- transactions ----------------------------------------------------------
 
@@ -155,7 +234,10 @@ class Database:
         """Apply a whole update batch — ``("ins", row) | ("del", sk) |
         ("mod", sk, column, value)`` — as one transaction through the
         vectorized bulk path (one WAL record, one resolution sweep).
-        Returns the number of operations applied."""
+        Sharded tables split the batch by sort key and apply one
+        sub-batch per touched shard inside the same transaction (still
+        one WAL record, carrying per-shard entry lists). Returns the
+        number of operations applied."""
         with self.transaction() as txn:
             return txn.apply_batch(table, ops)
 
@@ -169,8 +251,12 @@ class Database:
         Only the named ``columns`` are read from storage. Maintenance the
         checkpoint scheduler had to defer (because transactions were
         running when its policy fired) is drained here, *between* queries,
-        so PDT layers shrink back without a stop-the-world pause.
+        so PDT layers shrink back without a stop-the-world pause. Sharded
+        tables additionally run the shard rebalancer here, then fan the
+        scan out one MergeScan pipeline per shard.
         """
+        if table in self._sharded:
+            return self._query_sharded(table, columns, timer, batch_rows)
         self.scheduler.run_pending(table)
         state = self.manager.state_of(table)
         return scan_pdt(
@@ -180,6 +266,27 @@ class Database:
             timer=timer,
             batch_rows=batch_rows,
         )
+
+    def _query_sharded(self, table: str, columns, timer, batch_rows
+                       ) -> Relation:
+        import time
+
+        sharded = self._sharded[table]
+        for shard in sharded.shard_names:
+            self.scheduler.run_pending(shard)
+        sharded.maybe_rebalance()
+        if columns is None:
+            columns = list(sharded.schema.column_names)
+        else:
+            columns = list(columns)
+        start = time.perf_counter()
+        rel = Relation.from_batches(
+            columns,
+            sharded.scan_blocks(columns=columns, batch_rows=batch_rows),
+        )
+        if timer is not None:
+            timer.add(table, time.perf_counter() - start)
+        return rel
 
     def query_range(self, table: str, low=None, high=None, columns=None,
                     batch_rows: int = 4096) -> Relation:
@@ -192,8 +299,10 @@ class Database:
         "Respecting Deletes").
         """
         from ..core.stack import merge_scan_layers
-        from ..engine import functions as fn
 
+        if table in self._sharded:
+            return self._query_range_sharded(table, low, high, columns,
+                                             batch_rows)
         state = self.manager.state_of(table)
         schema = state.stable.schema
         if columns is None:
@@ -211,6 +320,44 @@ class Database:
                 batch_rows=batch_rows,
             ),
         )
+        return self._filter_key_range(rel, schema, low, high, columns)
+
+    def _query_range_sharded(self, table: str, low, high, columns,
+                             batch_rows: int) -> Relation:
+        """Range scan over a sharded table: the router prunes to the
+        shards whose key ranges intersect ``[low, high]``, and each
+        surviving shard's (stale) sparse index prunes its own SID range —
+        two levels of pruning before any block is read."""
+        import itertools
+
+        from ..core.stack import merge_scan_layers
+
+        sharded = self._sharded[table]
+        schema = sharded.schema
+        if columns is None:
+            columns = list(schema.column_names)
+        scan_cols = list(dict.fromkeys(list(columns) + list(schema.sort_key)))
+        streams = []
+        for i in sharded.router.shards_for_range(low, high):
+            shard = sharded.shard_names[i]
+            state = self.manager.state_of(shard)
+            sid_range = state.sparse_index.sid_range_for_key_range(low, high)
+            streams.append(merge_scan_layers(
+                state.stable, self.manager.latest_layers(shard),
+                columns=scan_cols, start=sid_range.start,
+                stop=sid_range.stop, batch_rows=batch_rows,
+            ))
+        with sharded.merge_io_after():
+            rel = Relation.from_batches(scan_cols, itertools.chain(*streams))
+        return self._filter_key_range(rel, schema, low, high, columns)
+
+    @staticmethod
+    def _filter_key_range(rel: Relation, schema, low, high,
+                          columns) -> Relation:
+        """Apply the inclusive (prefix-aware) ``[low, high]`` sort-key
+        predicate and project to the requested columns."""
+        from ..engine import functions as fn
+
         key_arrays = [rel[c] for c in schema.sort_key]
         mask = np.ones(rel.num_rows, dtype=bool)
         if low is not None:
@@ -222,10 +369,14 @@ class Database:
     def image_rows(self, table: str) -> list[tuple]:
         from ..core.stack import image_rows
 
+        if table in self._sharded:
+            return self._sharded[table].image_rows()
         state = self.manager.state_of(table)
         return image_rows(state.stable, self.manager.latest_layers(table))
 
     def row_count(self, table: str) -> int:
+        if table in self._sharded:
+            return self._sharded[table].row_count()
         state = self.manager.state_of(table)
         total = state.stable.num_rows
         for layer in self.manager.latest_layers(table):
@@ -238,24 +389,48 @@ class Database:
         """Manually propagate the Write-PDT down when it outgrows its
         budget. With a ``checkpoint_policy`` configured this happens
         autonomously; the method remains for explicit control."""
+        if table in self._sharded:
+            self._sharded[table].maintain(self.write_pdt_limit_bytes)
+            return
         self.manager.maybe_propagate(table, self.write_pdt_limit_bytes)
 
     def checkpoint(self, table: str) -> None:
         """Fold all deltas into a fresh stable image (quiescent only).
 
         The manual, stop-the-world form; ``checkpoint_policy=`` runs full
-        or incremental checkpoints automatically instead.
+        or incremental checkpoints automatically instead. Sharded tables
+        checkpoint shard by shard (each fold rewrites only that shard's
+        stable image).
         """
+        if table in self._sharded:
+            self._sharded[table].checkpoint()
+            return
         checkpoint_table(self.manager, table)
+
+    def rebalance(self, table: str) -> int:
+        """Run the shard rebalancer now; returns actions taken. (It also
+        runs autonomously between queries on sharded tables.)"""
+        return self.sharded(table).maybe_rebalance()
 
     def delta_bytes(self, table: str) -> int:
         """Bytes of RAM-resident delta state (PDT entries, paper model)."""
+        if table in self._sharded:
+            return self._sharded[table].delta_bytes()
         return delta_memory_usage(self.manager, table)
 
     # -- temperature control (benchmarks) ---------------------------------------------------
 
     def make_cold(self) -> None:
         self.pool.clear()
+        for sharded in self._sharded.values():
+            for state in sharded.shard_states():
+                if state.stable.pool is not None:
+                    state.stable.pool.clear()
 
     def warm(self, table: str, columns=None) -> None:
+        if table in self._sharded:
+            for state in self._sharded[table].shard_states():
+                if state.stable.pool is not None:
+                    state.stable.pool.warm_table(state.stable.name, columns)
+            return
         self.pool.warm_table(table, columns)

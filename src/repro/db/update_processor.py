@@ -250,9 +250,20 @@ class BatchUpdater:
 
     def apply(self, ops) -> int:
         """Apply the batch; returns the number of operations applied."""
+        return self.commit_staged(self.prepare(ops))
+
+    def prepare(self, ops):
+        """Normalize, resolve, and validate the batch *without* touching
+        the PDT; returns the staged state :meth:`commit_staged` ingests.
+
+        Splitting application in two lets callers that fan one logical
+        batch out over several independent targets (shards) validate
+        every sub-batch before mutating any — keeping the whole fan-out
+        all-or-nothing.
+        """
         normalized = self._normalize(ops)
         if not normalized:
-            return 0
+            return None
         # Stable sort by key: same-key operations keep batch order.
         normalized.sort(key=lambda item: item[0])
         runs = [
@@ -268,12 +279,19 @@ class BatchUpdater:
             self.stable, self.layers, self.sparse_index, keys
         )
         self._validate(runs, resolved)
+        return runs, resolved, len(normalized)
+
+    def commit_staged(self, staged) -> int:
+        """Ingest a batch staged by :meth:`prepare` into the top PDT."""
+        if staged is None:
+            return 0
+        runs, resolved, n_ops = staged
         simple = all(len(run) == 1 for run in runs)
         if simple and self.top.is_empty():
             self._apply_bulk(runs, resolved)
         else:
             self._apply_scalar(runs, resolved)
-        return len(normalized)
+        return n_ops
 
     # -- batch preparation -------------------------------------------------
 

@@ -2,13 +2,20 @@
 
 from . import functions
 from .relation import EngineError, GroupBy, Relation
-from .scan import ScanTimer, scan_clean, scan_pdt, scan_vdt
+from .scan import (
+    ScanTimer,
+    fanout_scan_blocks,
+    scan_clean,
+    scan_pdt,
+    scan_vdt,
+)
 
 __all__ = [
     "EngineError",
     "GroupBy",
     "Relation",
     "ScanTimer",
+    "fanout_scan_blocks",
     "functions",
     "scan_clean",
     "scan_pdt",

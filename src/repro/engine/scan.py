@@ -100,6 +100,38 @@ def scan_pdt_blocks(table, layers, columns=None, start: int = 0,
     return reblock(stream, block_rows=block_rows)
 
 
+def fanout_scan_blocks(sources, executor=None):
+    """Fan a scan out over partitions and re-concatenate in key order.
+
+    ``sources`` is an ordered list of zero-argument callables, each
+    returning a ``(first_rid, {column: ndarray})`` block stream over one
+    partition's *local* RID domain (starting at 0). Partitions are scanned
+    — in parallel when an ``executor`` (``concurrent.futures``-style) is
+    given, otherwise sequentially — and their blocks are yielded in
+    partition order with local RIDs rebased into the global RID domain:
+    partition ``i``'s offset is the total row count the preceding
+    partitions produced, measured from their actual output (so the offsets
+    stay exact under any per-partition insert/delete balance).
+
+    With an executor every partition's stream is materialized inside its
+    worker; block *contents* are untouched either way (pass-through arrays
+    stay pass-through).
+    """
+    if executor is not None:
+        futures = [executor.submit(lambda s=s: list(s())) for s in sources]
+        parts = (future.result() for future in futures)
+    else:
+        parts = (source() for source in sources)
+    offset = 0
+    for part in parts:
+        produced = 0
+        for first_rid, arrays in part:
+            yield offset + first_rid, arrays
+            if arrays:
+                produced = first_rid + len(next(iter(arrays.values())))
+        offset += produced
+
+
 def scan_vdt(table, vdt, columns=None, timer: ScanTimer | None = None,
              batch_rows: int = 4096) -> Relation:
     """Materialize a value-based merge scan (reads SK columns always)."""

@@ -1,0 +1,13 @@
+"""Range partitioning: sharded tables, key routing, and rebalancing."""
+
+from .rebalance import maybe_rebalance, merge_adjacent, split_shard
+from .router import ShardRouter
+from .sharded import ShardedTable
+
+__all__ = [
+    "ShardRouter",
+    "ShardedTable",
+    "maybe_rebalance",
+    "merge_adjacent",
+    "split_shard",
+]

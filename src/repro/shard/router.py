@@ -1,0 +1,124 @@
+"""Key-range shard routing.
+
+A :class:`ShardRouter` owns the ordered boundary list of a range-sharded
+table. ``N`` shards are described by ``N - 1`` strictly increasing sort-key
+boundaries; shard ``i`` covers the half-open key interval
+
+    [ boundaries[i-1], boundaries[i] )
+
+with the first shard open below and the last shard open above. Routing is
+a ``bisect`` over the boundary list — the same lexicographic tuple order
+the sort key already defines — so a scalar update routes in O(log N) and a
+bulk batch splits into per-shard sub-batches in one pass that preserves
+the batch's operation order within every shard (the bulk path's same-key
+run semantics depend on that order).
+"""
+
+from __future__ import annotations
+
+import bisect
+
+
+class ShardRouter:
+    """Maps sort keys to range shards and splits batches accordingly."""
+
+    def __init__(self, boundaries):
+        bounds = [tuple(b) for b in boundaries]
+        for a, b in zip(bounds, bounds[1:]):
+            if a >= b:
+                raise ValueError(
+                    f"shard boundaries must be strictly increasing: "
+                    f"{a!r} >= {b!r}"
+                )
+        self.boundaries: list[tuple] = bounds
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.boundaries) + 1
+
+    def shard_of(self, sk) -> int:
+        """Index of the shard owning sort key ``sk``.
+
+        A key equal to a boundary belongs to the shard *starting* at that
+        boundary (half-open ranges).
+        """
+        return bisect.bisect_right(self.boundaries, tuple(sk))
+
+    def key_range(self, index: int) -> tuple:
+        """``(low, high)`` key bounds of shard ``index``; ``None`` marks an
+        open end. The shard owns keys in ``[low, high)``."""
+        if not 0 <= index < self.num_shards:
+            raise IndexError(f"shard {index} out of range")
+        low = self.boundaries[index - 1] if index > 0 else None
+        high = self.boundaries[index] if index < len(self.boundaries) else None
+        return low, high
+
+    def shards_for_range(self, low=None, high=None) -> range:
+        """Shard indexes whose key range intersects ``[low, high]``
+        (inclusive bounds, ``None`` = open).
+
+        Bounds may be sort-key *prefixes* (as in ``Database.query_range``):
+        a prefix ``high`` is inclusive of every extension, so the last
+        shard is found by comparing only the prefix columns of each
+        boundary — a boundary sharing the prefix still has qualifying
+        keys on its right. (A prefix ``low`` needs no such care: every
+        qualifying key tuple-compares ``>= low``, and routing is
+        monotone in the key.)
+        """
+        first = 0 if low is None else self.shard_of(low)
+        if high is None:
+            last = self.num_shards - 1
+        else:
+            high = tuple(high)
+            last = bisect.bisect_right(
+                [b[: len(high)] for b in self.boundaries], high
+            )
+        return range(first, last + 1)
+
+    def split_ops(self, schema, ops) -> list[list]:
+        """Split an update batch into per-shard sub-batches.
+
+        ``ops`` use the batch-path grammar — ``("ins", row) | ("del", sk) |
+        ("mod", sk, column, value)`` — and every op is routed by the sort
+        key it addresses. Relative op order is preserved within each shard,
+        so same-key chains (delete-then-reinsert, ...) replay exactly as
+        they would unsharded.
+        """
+        parts: list[list] = [[] for _ in range(self.num_shards)]
+        for op in ops:
+            if op[0] == "ins":
+                sk = schema.sk_of(schema.coerce_row(op[1]))
+            else:
+                sk = tuple(op[1])
+            parts[self.shard_of(sk)].append(op)
+        return parts
+
+    def split_rows(self, schema, rows) -> list[list]:
+        """Partition coerced rows by the shard owning their sort key."""
+        parts: list[list] = [[] for _ in range(self.num_shards)]
+        for row in rows:
+            row = schema.coerce_row(row)
+            parts[self.shard_of(schema.sk_of(row))].append(row)
+        return parts
+
+    # -- boundary maintenance (rebalancer) --------------------------------
+
+    def insert_boundary(self, index: int, key) -> None:
+        """Split shard ``index`` at ``key``: the shard's range becomes
+        ``[low, key)`` + ``[key, high)``."""
+        low, high = self.key_range(index)
+        key = tuple(key)
+        if low is not None and key <= low:
+            raise ValueError(f"split key {key!r} at or below shard low")
+        if high is not None and key >= high:
+            raise ValueError(f"split key {key!r} at or above shard high")
+        self.boundaries.insert(index, key)
+
+    def remove_boundary(self, index: int) -> None:
+        """Merge shards ``index`` and ``index + 1`` into one range."""
+        if not 0 <= index < len(self.boundaries):
+            raise IndexError(f"no boundary {index}")
+        del self.boundaries[index]
+
+    def __repr__(self) -> str:
+        return f"ShardRouter({self.num_shards} shards, {self.boundaries!r})"

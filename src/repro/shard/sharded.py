@@ -1,0 +1,376 @@
+"""Range-sharded tables: one logical table, N key-range shards.
+
+The paper's PDT design localizes update state per table so merge cost
+scales with delta size, not table size; sharding multiplies that property.
+A :class:`ShardedTable` splits a logical table into key-range shards, each
+a *full* physical table inside the owning database — its own stable image
+(block-store backed, with a private buffer pool and I/O counters), its own
+three-layer PDT stack, sparse index, WAL stream (per-commit entry lists
+keyed by the shard's physical name), and its own checkpoint-scheduler
+load, so hot shards fold independently while cold shards are never
+touched.
+
+Routing lives in :class:`~repro.shard.router.ShardRouter`; scans fan out
+one block-pipelined MergeScan per shard — optionally on a
+``concurrent.futures`` thread pool — and are re-concatenated in key order
+with per-shard local RIDs rebased to global RIDs by the cumulative image
+sizes of the preceding shards
+(:func:`~repro.engine.scan.fanout_scan_blocks`). Shard splitting and
+merging (the autonomous rebalancer) lives in
+:mod:`~repro.shard.rebalance`.
+
+Physical shard tables are named ``{logical}__s{gen}`` with a
+per-logical-table generation counter, so the shards a rebalance creates
+never collide with the ones it retires.
+"""
+
+from __future__ import annotations
+
+import bisect
+import contextlib
+from concurrent.futures import ThreadPoolExecutor
+
+from ..engine.scan import fanout_scan_blocks, scan_pdt_blocks
+from ..storage.buffer import BufferPool
+from ..storage.column import Column
+from ..storage.io_stats import IOStats
+from ..storage.schema import Schema, SchemaError
+from ..storage.table import StableTable
+from .router import ShardRouter
+
+MAX_SCAN_WORKERS = 8
+
+
+class ShardedTable:
+    """A logical table physically partitioned into key-range shards."""
+
+    def __init__(self, db, name: str, schema: Schema, router: ShardRouter,
+                 shard_names: list[str], split_rows: int | None = None,
+                 merge_rows: int | None = None, parallel: bool = True):
+        if len(shard_names) != router.num_shards:
+            raise ValueError("shard name count does not match boundaries")
+        if split_rows is not None and merge_rows is not None \
+                and merge_rows >= split_rows:
+            raise ValueError(
+                f"merge_rows ({merge_rows}) must be < split_rows "
+                f"({split_rows})"
+            )
+        self.db = db
+        self.name = name
+        self.schema = schema
+        self.router = router
+        self.shard_names = list(shard_names)
+        self.split_rows = split_rows
+        self.merge_rows = merge_rows
+        self.parallel = parallel
+        self._gen = 1 + max(
+            (int(n.rsplit("__s", 1)[1]) for n in shard_names), default=-1
+        )
+        self._executor: ThreadPoolExecutor | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def create(cls, db, name: str, schema: Schema, rows=(), shards: int = 4,
+               boundaries=None, split_rows: int | None = None,
+               merge_rows: int | None = None,
+               parallel: bool = True) -> "ShardedTable":
+        """Bulk-load ``rows`` into ``shards`` key-range shards.
+
+        ``boundaries`` fixes the split keys explicitly; by default they
+        are chosen at equal row-count quantiles of the sorted load
+        (duplicate quantile keys on tiny loads collapse into fewer
+        shards). Rows are coerced and sorted exactly once, then handed
+        to the columnar path, which cuts shard slices by position.
+        """
+        coerced = sorted((schema.coerce_row(r) for r in rows),
+                         key=schema.sk_of)
+        for a, b in zip(coerced, coerced[1:]):
+            if schema.sk_of(a) == schema.sk_of(b):
+                raise SchemaError(f"duplicate sort key {schema.sk_of(a)!r}")
+        arrays = {
+            spec.name: Column.from_python(
+                spec.name, spec.dtype, [row[i] for row in coerced]
+            ).values
+            for i, spec in enumerate(schema.columns)
+        }
+        return cls.create_from_arrays(
+            db, name, schema, arrays, shards=shards, boundaries=boundaries,
+            split_rows=split_rows, merge_rows=merge_rows, parallel=parallel,
+        )
+
+    @classmethod
+    def create_from_arrays(cls, db, name: str, schema: Schema, arrays: dict,
+                           shards: int = 4, boundaries=None,
+                           split_rows: int | None = None,
+                           merge_rows: int | None = None,
+                           parallel: bool = True) -> "ShardedTable":
+        """Bulk path for pre-sorted columnar data: boundaries are read
+        straight off the sorted key columns (equal-count quantiles unless
+        given explicitly) and each shard's stable image is a zero-copy
+        array slice — no per-row coercion or re-sorting
+        (``StableTable.from_arrays`` still validates the sort)."""
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        key_cols = [arrays[c] for c in schema.sort_key]
+        n = len(key_cols[0]) if key_cols else 0
+        if boundaries is None:
+            cuts = sorted({
+                at for i in range(1, shards)
+                if 0 < (at := int(i * n / shards)) < n
+            })
+            boundaries = [tuple(col[at] for col in key_cols) for at in cuts]
+        else:
+            # Sorted input: each boundary cuts at the first row with
+            # key >= boundary, so equal-to-boundary rows land right.
+            boundaries = [tuple(b) for b in boundaries]
+            keys = list(zip(*key_cols))
+            cuts = [bisect.bisect_left(keys, b) for b in boundaries]
+        router = ShardRouter(boundaries)
+        edges = [0] + cuts + [n]
+        shard_names = [f"{name}__s{i}" for i in range(len(edges) - 1)]
+        sharded = cls(db, name, schema, router, shard_names,
+                      split_rows=split_rows, merge_rows=merge_rows,
+                      parallel=parallel)
+        for shard_name, lo, hi in zip(shard_names, edges, edges[1:]):
+            sharded.install_shard(StableTable.from_arrays(
+                shard_name, schema,
+                {c: arrays[c][lo:hi] for c in schema.column_names},
+            ))
+        sharded.log_layout()
+        return sharded
+
+    def next_shard_name(self) -> str:
+        name = f"{self.name}__s{self._gen}"
+        self._gen += 1
+        return name
+
+    def install_shard(self, stable: StableTable, read_pdt=None):
+        """Register a shard's stable image with its own buffer pool and
+        (optionally) a pre-built Read-PDT (rebalance survivors)."""
+        db = self.db
+        pool = BufferPool(db.store, IOStats(),
+                          capacity_bytes=db.buffer_capacity)
+        stable.attach_storage(pool)
+        state = db.manager.register_table(stable)
+        if read_pdt is not None and not read_pdt.is_empty():
+            state.read_pdt = read_pdt
+        state.last_commit_lsn = db.manager._lsn
+        return state
+
+    def retire_shard(self, shard_name: str) -> None:
+        """Unregister a shard a rebalance replaced and drop its blocks."""
+        state = self.db.manager.unregister_table(shard_name)
+        pool = state.stable.pool
+        if pool is not None:
+            pool.store.drop_table(shard_name)
+            pool.clear()
+        self.db.scheduler.forget(shard_name)
+
+    def log_layout(self) -> None:
+        """Record the current boundaries + shard names (and the
+        rebalancer configuration) in the WAL — the catalog leg of crash
+        recovery."""
+        self.db.manager.wal.append_shard_layout(
+            self.name, self.router.boundaries, self.shard_names,
+            lsn=self.db.manager._lsn,
+            config={
+                "split_rows": self.split_rows,
+                "merge_rows": self.merge_rows,
+                "parallel": self.parallel,
+            },
+        )
+
+    @classmethod
+    def restore(cls, db, name: str, layout: dict) -> "ShardedTable":
+        """Rebuild the wrapper from a WAL shard-layout record; the shard
+        stable tables must already be registered with ``db``.
+
+        Shards registered through the generic recovery path share the
+        database-wide buffer pool; they are re-attached to private
+        per-shard pools here so fanned-out scans keep their race-free
+        per-shard I/O counters.
+        """
+        shard_names = list(layout["shards"])
+        schema = db.manager.state_of(shard_names[0]).schema
+        router = ShardRouter(layout["boundaries"])
+        config = layout.get("config", {})
+        sharded = cls(
+            db, name, schema, router, shard_names,
+            split_rows=config.get("split_rows"),
+            merge_rows=config.get("merge_rows"),
+            parallel=config.get("parallel", True),
+        )
+        for shard in shard_names:
+            state = db.manager.state_of(shard)
+            if state.stable.pool is None or state.stable.pool is db.pool:
+                pool = BufferPool(db.store, IOStats(),
+                                  capacity_bytes=db.buffer_capacity)
+                state.stable.attach_storage(pool)
+        return sharded
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_names)
+
+    @property
+    def boundaries(self) -> list[tuple]:
+        return list(self.router.boundaries)
+
+    def shard_states(self):
+        return [self.db.manager.state_of(n) for n in self.shard_names]
+
+    def shard_layers(self, shard_name: str):
+        return self.db.manager.latest_layers(shard_name)
+
+    def row_count(self) -> int:
+        total = 0
+        for state in self.shard_states():
+            total += state.stable.num_rows
+            for layer in (state.read_pdt, state.write_pdt):
+                total += layer.total_delta()
+        return total
+
+    def delta_bytes(self) -> int:
+        return sum(
+            state.read_pdt.memory_usage() + state.write_pdt.memory_usage()
+            for state in self.shard_states()
+        )
+
+    def footprints(self) -> list[int]:
+        """Per-shard stable+delta footprint (rows + PDT entries), the
+        rebalancer's load measure."""
+        return [
+            state.stable.num_rows + state.read_pdt.count()
+            + state.write_pdt.count()
+            for state in self.shard_states()
+        ]
+
+    def io_stats(self) -> IOStats:
+        """Aggregate of every shard's private I/O counters."""
+        total = IOStats()
+        for state in self.shard_states():
+            if state.stable.pool is not None:
+                total.merge(state.stable.pool.io)
+        return total
+
+    @contextlib.contextmanager
+    def merge_io_after(self):
+        """Fold whatever the enclosed shard reads charged to the private
+        per-shard I/O counters into the database-level counters on exit —
+        the single accounting hook every fanned-out read path (queries,
+        transactional scans, update-resolution sweeps) wraps itself in,
+        so ``db.io`` stays honest under sharding."""
+        befores = [
+            (state.stable.pool, state.stable.pool.io.snapshot())
+            for state in self.shard_states()
+            if state.stable.pool is not None
+        ]
+        try:
+            yield
+        finally:
+            for pool, before in befores:
+                self.db.io.merge(pool.io.since(before))
+
+    def image_rows(self) -> list[tuple]:
+        from ..core.stack import image_rows
+
+        out: list[tuple] = []
+        for name in self.shard_names:
+            state = self.db.manager.state_of(name)
+            out.extend(image_rows(state.stable, self.shard_layers(name)))
+        return out
+
+    # -- routing ----------------------------------------------------------
+
+    def physical_for(self, sk) -> str:
+        """Physical shard table owning sort key ``sk``."""
+        return self.shard_names[self.router.shard_of(sk)]
+
+    def split_ops(self, ops) -> list[tuple[str, list]]:
+        """Split a batch into non-empty ``(physical_name, sub_batch)``
+        pairs, preserving op order within each shard."""
+        parts = self.router.split_ops(self.schema, ops)
+        return [
+            (self.shard_names[i], part)
+            for i, part in enumerate(parts) if part
+        ]
+
+    # -- scanning ---------------------------------------------------------
+
+    def _pool_executor(self) -> ThreadPoolExecutor | None:
+        if not self.parallel or self.num_shards < 2:
+            return None
+        workers = min(self.num_shards, MAX_SCAN_WORKERS)
+        if self._executor is None or self._executor._max_workers < workers:
+            if self._executor is not None:
+                self._executor.shutdown(wait=False)
+            self._executor = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix=f"shard-scan-{self.name}",
+            )
+        return self._executor
+
+    def scan_blocks(self, columns=None, batch_rows: int = 4096,
+                    parallel: bool | None = None):
+        """Stream the merged logical image as ``(global_rid, arrays)``
+        blocks, one MergeScan pipeline per shard.
+
+        The per-shard pipelines read through their shard's private buffer
+        pool/IOStats (no cross-thread counter races); the per-scan I/O
+        deltas are merged into the database-level counters when the stream
+        completes. Shard sources are captured eagerly, so the stream is a
+        snapshot of the latest-committed state at call time.
+        """
+        if columns is None:
+            columns = list(self.schema.column_names)
+        use_parallel = self.parallel if parallel is None else parallel
+        executor = self._pool_executor() if use_parallel else None
+        sources = []
+        for name in self.shard_names:
+            state = self.db.manager.state_of(name)
+            layers = self.db.manager.latest_layers(name)
+            sources.append(
+                lambda stable=state.stable, layers=layers: scan_pdt_blocks(
+                    stable, layers, columns=columns, block_rows=batch_rows
+                )
+            )
+
+        def stream():
+            with self.merge_io_after():
+                yield from fanout_scan_blocks(sources, executor=executor)
+
+        return stream()
+
+    # -- maintenance ------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Fold every shard's deltas into fresh shard stable images."""
+        from ..txn.checkpoint import checkpoint_table
+
+        for name in self.shard_names:
+            checkpoint_table(self.db.manager, name)
+
+    def maintain(self, write_limit_bytes: int) -> None:
+        for name in self.shard_names:
+            self.db.manager.maybe_propagate(name, write_limit_bytes)
+
+    def maybe_rebalance(self) -> int:
+        """Run the autonomous rebalancer (quiescent points only); returns
+        the number of split/merge actions taken."""
+        from .rebalance import maybe_rebalance
+
+        return maybe_rebalance(self)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTable({self.name!r}, shards={self.num_shards}, "
+            f"rows={self.row_count()})"
+        )

@@ -54,6 +54,21 @@ class IOStats:
         self.blocks_read += 1
         self.bytes_by_column[(table, column)] += nbytes
 
+    def merge(self, other) -> "IOStats":
+        """Fold another counter set (``IOStats`` or ``IOSnapshot``) into
+        this one; returns ``self``.
+
+        Shard fan-out records each shard's reads into a private, per-shard
+        counter set (so parallel scan workers never race on one set of
+        counters); the database-level stats stay meaningful by merging the
+        per-shard deltas back after every fanned-out query.
+        """
+        self.bytes_read += other.bytes_read
+        self.blocks_read += other.blocks_read
+        for key, count in other.bytes_by_column.items():
+            self.bytes_by_column[key] += count
+        return self
+
     def snapshot(self) -> IOSnapshot:
         return IOSnapshot(
             bytes_read=self.bytes_read,

@@ -12,15 +12,27 @@ def load_database(
     compressed: bool = True,
     block_rows: int = 4096,
     buffer_capacity: int | None = None,
+    lineitem_shards: int | None = None,
 ) -> Database:
-    """Bulk-load all eight tables into a fresh database."""
+    """Bulk-load all eight tables into a fresh database.
+
+    ``lineitem_shards`` loads lineitem — the largest, refresh-heavy table
+    — as a range-sharded table with that many orderkey-range shards;
+    queries fan out per shard and the RF1/RF2 refresh streams route their
+    batches shard by shard.
+    """
     db = Database(
         compressed=compressed,
         block_rows=block_rows,
         buffer_capacity=buffer_capacity,
     )
     for name, schema in tpch_schema.SCHEMAS.items():
-        db.create_table_from_arrays(name, schema, data.tables[name])
+        if name == "lineitem" and lineitem_shards is not None:
+            db.create_sharded_table_from_arrays(
+                name, schema, data.tables[name], shards=lineitem_shards
+            )
+        else:
+            db.create_table_from_arrays(name, schema, data.tables[name])
     return db
 
 

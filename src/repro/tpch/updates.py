@@ -67,7 +67,10 @@ class RefreshApplier:
         The default routes each refresh through the vectorized bulk path
         (one batch per table per transaction — one WAL record per
         refresh half); ``bulk=False`` keeps the per-row scalar path as
-        the differential-testing oracle.
+        the differential-testing oracle. Either way the transaction
+        routes logical names itself, so a range-sharded lineitem
+        (``load_database(..., lineitem_shards=N)``) absorbs the stream
+        shard by shard with no changes here.
         """
         if bulk:
             rf1, rf2 = self.refresh_ops(pair)

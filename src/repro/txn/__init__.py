@@ -8,7 +8,11 @@ from .checkpoint import (
     delta_memory_usage,
 )
 from .manager import ManagerStats, TableState, TransactionManager
-from .recovery import recover_database, recover_manager
+from .recovery import (
+    recover_database,
+    recover_manager,
+    restore_sharded_tables,
+)
 from .scheduler import (
     CheckpointPolicy,
     CheckpointScheduler,
@@ -54,4 +58,5 @@ __all__ = [
     "recover_database",
     "recover_manager",
     "replay_into",
+    "restore_sharded_tables",
 ]

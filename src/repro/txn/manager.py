@@ -65,6 +65,9 @@ class TransactionManager:
     def __init__(self, wal: WriteAheadLog | None = None,
                  sparse_granularity: int = 4096):
         self._tables: dict[str, TableState] = {}
+        # logical name -> ShardedTable; shared with the owning Database so
+        # transactions can route logical sharded names to physical shards.
+        self.sharded_tables: dict = {}
         self._running: dict[int, Transaction] = {}
         self._tz: list[_CommitRecord] = []
         self._lsn = 0
@@ -96,6 +99,22 @@ class TransactionManager:
             sparse_index=SparseIndex(stable, self.sparse_granularity),
         )
         self._tables[stable.name] = state
+        return state
+
+    def unregister_table(self, table: str) -> TableState:
+        """Drop a table from the registry (shard rebalancing retires the
+        shards it replaces). Requires a quiescent point: a running
+        transaction may hold snapshots of — or Trans-PDT entries against —
+        the departing table."""
+        if self._running:
+            raise TransactionError(
+                "unregister requires no running transactions"
+            )
+        try:
+            state = self._tables.pop(table)
+        except KeyError:
+            raise KeyError(f"unknown table {table!r}") from None
+        self._snapshot_cache.pop(table, None)
         return state
 
     def state_of(self, table: str) -> TableState:

@@ -53,5 +53,43 @@ def recover_manager(manager: TransactionManager, wal: WriteAheadLog,
 
 def recover_database(db, wal: WriteAheadLog,
                      max_records: int | None = None) -> int:
-    """Database-level convenience wrapper around :func:`recover_manager`."""
-    return recover_manager(db.manager, wal, max_records=max_records)
+    """Database-level convenience wrapper around :func:`recover_manager`.
+
+    Also restores range-sharded tables: their boundaries, shard names,
+    and rebalancer configuration are read back from the WAL's
+    shard-layout records (:func:`restore_sharded_tables`), so a
+    recovered database routes, scans, and rebalances exactly as before
+    the crash.
+
+    ``max_records`` crash boundaries compose with stable-image rewrites
+    (checkpoints *and* shard rebalances) the way they always have: a
+    rewrite rebases the WAL in place, so boundaries are only meaningful
+    within the history written *since* the last rebase — the on-disk
+    state a crash leaves behind is always the current stable (shard)
+    images plus the current, rebased log. Layout records are catalog
+    state describing those current images; there is no earlier layout to
+    recover to, just as there is no earlier stable image.
+    """
+    last_lsn = recover_manager(db.manager, wal, max_records=max_records)
+    restore_sharded_tables(db, wal)
+    return last_lsn
+
+
+def restore_sharded_tables(db, wal: WriteAheadLog) -> list[str]:
+    """Rebuild :class:`~repro.shard.ShardedTable` wrappers from the WAL's
+    latest shard-layout records.
+
+    The shard stable images must already be registered with the manager
+    (they survive a crash like any stable image; the WAL is the catalog of
+    *which* shard tables and boundaries were current). Returns the logical
+    names restored.
+    """
+    from ..shard.sharded import ShardedTable
+
+    restored = []
+    for name, layout in wal.shard_layouts().items():
+        if name in db._sharded:
+            continue
+        db._sharded[name] = ShardedTable.restore(db, name, layout)
+        restored.append(name)
+    return restored

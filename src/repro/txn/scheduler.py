@@ -328,6 +328,12 @@ class CheckpointScheduler:
         """Deferred decisions by table (diagnostics)."""
         return dict(self._pending)
 
+    def forget(self, table: str) -> None:
+        """Drop any deferred work for a table that no longer exists (a
+        rebalance retired the shard; its deltas moved with the split)."""
+        self._pending.pop(table, None)
+        self._commits_since.pop(table, None)
+
     # -- measurement -------------------------------------------------------
 
     def load_of(self, table: str) -> TableLoad:

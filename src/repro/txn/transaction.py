@@ -80,6 +80,10 @@ class Transaction:
             )
         return self._snapshots[table]
 
+    def _sharded(self, table: str):
+        """The ShardedTable behind ``table``, or None for physical names."""
+        return self._manager.sharded_tables.get(table)
+
     def _updater(self, table: str) -> PositionalUpdater:
         state = self._manager.state_of(table)
         return PositionalUpdater(
@@ -96,8 +100,30 @@ class Transaction:
 
     def scan(self, table: str, columns=None, batch_rows: int = 4096
              ) -> Relation:
-        """Snapshot-consistent scan (sees this transaction's own updates)."""
+        """Snapshot-consistent scan (sees this transaction's own updates).
+
+        Sharded logical names scan shard by shard in key order, each shard
+        through this transaction's own layer stack.
+        """
         self._require_active()
+        sharded = self._sharded(table)
+        if sharded is not None:
+            import itertools
+
+            from ..core.stack import merge_scan_layers
+
+            columns = list(columns) if columns is not None \
+                else list(sharded.schema.column_names)
+            streams = []
+            for shard in sharded.shard_names:
+                state = self._manager.state_of(shard)
+                streams.append(merge_scan_layers(
+                    state.stable, self._read_layers(shard),
+                    columns=columns, batch_rows=batch_rows,
+                ))
+            with sharded.merge_io_after():
+                return Relation.from_batches(columns,
+                                             itertools.chain(*streams))
         state = self._manager.state_of(table)
         return scan_pdt(state.stable, self._read_layers(table),
                         columns=columns, batch_rows=batch_rows)
@@ -107,21 +133,42 @@ class Transaction:
         from ..core.stack import image_rows
 
         self._require_active()
-        state = self._manager.state_of(table)
-        return image_rows(state.stable, self._read_layers(table))
+        sharded = self._sharded(table)
+        names = sharded.shard_names if sharded is not None else [table]
+        rows: list[tuple] = []
+        for name in names:
+            state = self._manager.state_of(name)
+            rows.extend(image_rows(state.stable, self._read_layers(name)))
+        return rows
 
     # -- writes ---------------------------------------------------------------
 
     def insert(self, table: str, row) -> int:
         self._require_active()
+        sharded = self._sharded(table)
+        if sharded is not None:
+            row = sharded.schema.coerce_row(row)
+            physical = sharded.physical_for(sharded.schema.sk_of(row))
+            with sharded.merge_io_after():
+                return self._updater(physical).insert(row)
         return self._updater(table).insert(row)
 
     def delete(self, table: str, sk) -> int:
         self._require_active()
+        sharded = self._sharded(table)
+        if sharded is not None:
+            with sharded.merge_io_after():
+                return self._updater(sharded.physical_for(sk)) \
+                    .delete_by_key(sk)
         return self._updater(table).delete_by_key(sk)
 
     def modify(self, table: str, sk, column: str, value) -> int:
         self._require_active()
+        sharded = self._sharded(table)
+        if sharded is not None:
+            with sharded.merge_io_after():
+                return self._updater(sharded.physical_for(sk)) \
+                    .modify_by_key(sk, column, value)
         return self._updater(table).modify_by_key(sk, column, value)
 
     def delete_at(self, table: str, rid: int, sk) -> None:
@@ -136,8 +183,23 @@ class Transaction:
         """Apply a whole ``("ins", row) | ("del", sk) | ("mod", sk, col,
         value)`` batch through the vectorized bulk path; returns the
         number of operations applied. All-or-nothing: key errors are
-        raised before anything lands in the Trans-PDT."""
+        raised before anything lands in the Trans-PDT. A sharded logical
+        name splits the batch into per-shard sub-batches, still
+        all-or-nothing: *every* sub-batch is validated before any shard's
+        Trans-PDT is touched."""
         self._require_active()
+        sharded = self._sharded(table)
+        if sharded is not None:
+            with sharded.merge_io_after():
+                staged = []
+                for physical, sub in sharded.split_ops(ops):
+                    state = self._manager.state_of(physical)
+                    updater = BatchUpdater(
+                        state.stable, self._update_layers(physical),
+                        state.sparse_index,
+                    )
+                    staged.append((updater, updater.prepare(sub)))
+                return sum(u.commit_staged(s) for u, s in staged)
         state = self._manager.state_of(table)
         return BatchUpdater(
             state.stable, self._update_layers(table), state.sparse_index

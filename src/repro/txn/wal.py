@@ -19,6 +19,7 @@ all-or-nothing.
 
 from __future__ import annotations
 
+import contextlib
 import json
 from dataclasses import dataclass, field
 
@@ -40,11 +41,14 @@ def _to_native(value):
 
 @dataclass
 class WalRecord:
-    """One committed transaction: LSN plus per-table entry lists."""
+    """One logged event: a commit (per-table entry lists) or a metadata
+    record such as a shard layout."""
 
     lsn: int
     tables: dict = field(default_factory=dict)
     # tables: name -> list of (sid, kind, payload) with JSON-safe payloads
+    kind: str = "commit"
+    meta: dict | None = None  # payload of non-commit records
 
 
 class WriteAheadLog:
@@ -53,6 +57,25 @@ class WriteAheadLog:
     def __init__(self, path=None):
         self.path = path
         self.records: list[WalRecord] = []
+        self._defer_rewrites = False
+
+    @contextlib.contextmanager
+    def atomic(self):
+        """Defer file rewrites until the block exits, then write once.
+
+        Multi-step log surgery (a shard rebalance drops retired shards'
+        history, re-logs survivor snapshots, and logs the new layout)
+        must not leave the on-disk log between steps — e.g. with the old
+        layout still naming shards whose deltas were just dropped. Under
+        ``atomic()`` the in-memory record list mutates stepwise but the
+        file sees only the final, mutually consistent state.
+        """
+        self._defer_rewrites = True
+        try:
+            yield
+        finally:
+            self._defer_rewrites = False
+            self._rewrite_file()
 
     def append_commit(self, lsn: int, table_pdts: dict) -> None:
         """Log a commit: ``table_pdts`` maps table name -> serialized PDT."""
@@ -70,11 +93,57 @@ class WriteAheadLog:
                 )
 
     def truncate(self) -> None:
-        """Discard logged records (after a checkpoint made them redundant)."""
-        self.records.clear()
-        if self.path is not None:
-            with open(self.path, "w", encoding="utf-8"):
-                pass
+        """Discard logged commit records (after a checkpoint made them
+        redundant). Shard-layout metadata survives: boundaries are catalog
+        state a recovery needs even when no deltas are outstanding."""
+        self.records = [r for r in self.records if r.kind == "shard-layout"]
+        self._rewrite_file()
+
+    # -- shard-layout metadata -------------------------------------------
+
+    def append_shard_layout(self, table: str, boundaries, shard_names,
+                            lsn: int = 0, config: dict | None = None
+                            ) -> None:
+        """Log the current layout of a range-sharded table.
+
+        Only the *latest* layout per logical table is kept: a layout is
+        *catalog* state describing the shard tables that exist on disk
+        right now, exactly like the stable images themselves. Earlier
+        layouts name shard tables whose stable images and WAL records a
+        rebalance already replaced, so nothing could ever be replayed
+        against them (the same reason ``max_records`` crash boundaries
+        are only meaningful within the history since the last
+        checkpoint/rebalance rebase).
+        """
+        self.records = [
+            r for r in self.records
+            if not (r.kind == "shard-layout" and r.meta["table"] == table)
+        ]
+        self.records.append(WalRecord(
+            lsn=lsn,
+            kind="shard-layout",
+            meta={
+                "table": table,
+                "boundaries": [list(b) for b in boundaries],
+                "shards": list(shard_names),
+                "config": dict(config or {}),
+            },
+        ))
+        self._rewrite_file()
+
+    def shard_layouts(self) -> dict:
+        """Latest logged layout per sharded table: ``name ->
+        {"boundaries": [...], "shards": [...], "config": {...}}``."""
+        out: dict = {}
+        for record in self.records:
+            if record.kind == "shard-layout":
+                out[record.meta["table"]] = {
+                    "boundaries": [tuple(b) for b in
+                                   record.meta["boundaries"]],
+                    "shards": list(record.meta["shards"]),
+                    "config": dict(record.meta.get("config", {})),
+                }
+        return out
 
     def rebase_table(self, table: str, snapshot_pdt=None,
                      lsn: int = 0) -> None:
@@ -131,7 +200,7 @@ class WriteAheadLog:
         return entries
 
     def _rewrite_file(self) -> None:
-        if self.path is None:
+        if self.path is None or self._defer_rewrites:
             return
         with open(self.path, "w", encoding="utf-8") as fh:
             for record in self.records:
@@ -145,7 +214,11 @@ class WriteAheadLog:
 
     @staticmethod
     def _to_json(record: WalRecord) -> dict:
-        return {"lsn": record.lsn, "tables": record.tables}
+        raw = {"lsn": record.lsn, "tables": record.tables}
+        if record.kind != "commit":
+            raw["kind"] = record.kind
+            raw["meta"] = record.meta
+        return raw
 
     @classmethod
     def load(cls, path) -> "WriteAheadLog":
@@ -160,7 +233,10 @@ class WriteAheadLog:
                     name: [tuple(e) for e in entries]
                     for name, entries in raw["tables"].items()
                 }
-                wal.records.append(WalRecord(lsn=raw["lsn"], tables=tables))
+                wal.records.append(WalRecord(
+                    lsn=raw["lsn"], tables=tables,
+                    kind=raw.get("kind", "commit"), meta=raw.get("meta"),
+                ))
         wal.path = path
         return wal
 
@@ -186,6 +262,8 @@ def replay_into(wal: WriteAheadLog, pdts: dict,
     records = wal.records if max_records is None else \
         wal.records[:max_records]
     for record in records:
+        if record.kind != "commit":
+            continue
         for name, entries in record.tables.items():
             if name not in pdts:
                 raise KeyError(f"WAL references unknown table {name!r}")

@@ -1,0 +1,252 @@
+"""Shard split/merge rebalancing: SID rebasing, autonomy, and snapshot
+consistency across rebalances."""
+
+import pytest
+
+from repro import Database, DataType, Schema
+from repro.shard import merge_adjacent, split_shard
+
+
+def int_schema():
+    return Schema.build(
+        ("k", DataType.INT64),
+        ("a", DataType.INT64),
+        ("b", DataType.STRING),
+        sort_key=("k",),
+    )
+
+
+def seed_rows(n=100):
+    return [(i * 2, i, f"s{i}") for i in range(n)]
+
+
+def make_pair(n=100, shards=2, **kwargs):
+    schema = int_schema()
+    rows = seed_rows(n)
+    db = Database(compressed=False)
+    db.create_sharded_table("t", schema, rows, shards=shards, **kwargs)
+    oracle = Database(compressed=False)
+    oracle.create_table("t", schema, rows)
+    return db, oracle
+
+
+def apply_both(db, oracle, ops):
+    db.apply_batch("t", ops)
+    oracle.apply_batch("t", ops)
+
+
+SCATTER = [
+    ("ins", (5, 1, "x")),
+    ("del", (20,)),
+    ("mod", (40,), "a", 99),
+    ("ins", (99, 7, "y")),   # straddles the 2-shard boundary (100,)
+    ("ins", (101, 8, "z")),
+    ("del", (102,)),
+    ("ins", (199, 9, "w")),
+    ("del", (150,)),
+]
+
+
+class TestSplit:
+    def test_split_preserves_image_and_rebases_entries(self):
+        db, oracle = make_pair(shards=1)
+        apply_both(db, oracle, SCATTER)
+        st = db.sharded("t")
+        before = [s.read_pdt.count() + s.write_pdt.count()
+                  for s in st.shard_states()]
+        assert split_shard(st, 0)
+        assert st.num_shards == 2
+        # deltas were redistributed, not folded: entry counts survive
+        after = sum(s.read_pdt.count() + s.write_pdt.count()
+                    for s in st.shard_states())
+        assert after == sum(before)
+        assert db.image_rows("t") == oracle.image_rows("t")
+        assert db.query("t").rows() == oracle.query("t").rows()
+
+    def test_split_boundary_is_stable_midpoint_key(self):
+        db, _ = make_pair(shards=1)
+        st = db.sharded("t")
+        assert split_shard(st, 0)
+        assert st.boundaries == [(100,)]  # sk of stable row 50
+
+    def test_trailing_insert_at_split_point_stays_left(self):
+        db, oracle = make_pair(shards=1)
+        # key 99 sorts between stable rows 49 (k=98) and 50 (k=100): its
+        # PDT SID is exactly the split midpoint.
+        apply_both(db, oracle, [("ins", (99, 1, "edge"))])
+        st = db.sharded("t")
+        assert split_shard(st, 0)
+        left = st.shard_states()[0]
+        assert left.read_pdt.count() + left.write_pdt.count() == 1
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_reinserted_midpoint_key_moves_right(self):
+        """Delete-then-reinsert of the stable row *at* the split midpoint
+        puts an INS with key == split_key at SID mid; it must follow the
+        router to the right shard or the row becomes unreachable by key."""
+        db, oracle = make_pair(n=8, shards=1)
+        mid_key = 8  # stable row 4 of 8 (keys 0,2,...,14)
+        for target in (db, oracle):
+            target.delete("t", (mid_key,))
+            target.insert("t", (mid_key, 999, "reborn"))
+        st = db.sharded("t")
+        assert split_shard(st, 0)
+        assert st.boundaries == [(mid_key,)]
+        assert db.image_rows("t") == oracle.image_rows("t")
+        # reachable by key through the router
+        assert db.query_range("t", (mid_key,), (mid_key,)).rows() \
+            == oracle.query_range("t", (mid_key,), (mid_key,)).rows()
+        db.modify("t", (mid_key,), "a", 1)
+        oracle.modify("t", (mid_key,), "a", 1)
+        db.delete("t", (mid_key,))
+        oracle.delete("t", (mid_key,))
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_split_requires_quiescence(self):
+        db, _ = make_pair(shards=1)
+        st = db.sharded("t")
+        txn = db.begin()
+        txn.insert("t__s0", (5, 1, "x"))
+        assert not split_shard(st, 0)
+        txn.commit()
+        assert split_shard(st, 0)
+
+    def test_tiny_shard_refuses_split(self):
+        db = Database()
+        st = db.create_sharded_table("t", int_schema(), seed_rows(1),
+                                     shards=1)
+        assert not split_shard(st, 0)
+
+
+class TestMerge:
+    def test_merge_preserves_image(self):
+        db, oracle = make_pair(shards=4)
+        apply_both(db, oracle, SCATTER)
+        st = db.sharded("t")
+        total_entries = sum(s.read_pdt.count() + s.write_pdt.count()
+                            for s in st.shard_states())
+        assert merge_adjacent(st, 1)
+        assert st.num_shards == 3
+        assert sum(s.read_pdt.count() + s.write_pdt.count()
+                   for s in st.shard_states()) == total_entries
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_merge_down_to_one_shard(self):
+        db, oracle = make_pair(shards=4)
+        apply_both(db, oracle, SCATTER)
+        st = db.sharded("t")
+        while st.num_shards > 1:
+            assert merge_adjacent(st, 0)
+        assert st.boundaries == []
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_boundary_inserts_keep_order_across_merge(self):
+        db, oracle = make_pair(shards=2)
+        boundary = db.sharded("t").boundaries[0][0]  # 100
+        ops = [("ins", (boundary - 1, 1, "l")),  # left trailing insert
+               ("del", (boundary,)),
+               ("ins", (boundary + 1, 2, "r"))]  # right leading insert
+        apply_both(db, oracle, ops)
+        st = db.sharded("t")
+        assert merge_adjacent(st, 0)
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+
+class TestAutonomousRebalancing:
+    def test_skewed_inserts_trigger_split_between_queries(self):
+        db, oracle = make_pair(shards=2)
+        db.sharded("t").split_rows = 90
+        st = db.sharded("t")
+        assert st.num_shards == 2
+        # skewed stream: every insert lands in shard 0's range [0, 100)
+        ops = [("ins", (2 * k + 1, k, "hot")) for k in range(45)]
+        apply_both(db, oracle, ops)
+        assert db.query("t").rows() == oracle.query("t").rows()
+        assert st.num_shards > 2, "hot shard should have split"
+        # the split happened left of the old boundary
+        assert st.boundaries[-1] == (100,)
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_underfull_neighbours_merge(self):
+        db, oracle = make_pair(n=40, shards=4)
+        st = db.sharded("t")
+        st.merge_rows = 25
+        db.query("t")
+        assert st.num_shards < 4
+        assert db.image_rows("t") == oracle.image_rows("t")
+
+    def test_oscillating_thresholds_rejected(self):
+        db, _ = make_pair(shards=2)
+        with pytest.raises(ValueError):
+            db.create_sharded_table("u", int_schema(), [], shards=2,
+                                    split_rows=100, merge_rows=300)
+        st = db.sharded("t")
+        st.split_rows, st.merge_rows = 100, 300  # mutated after creation
+        with pytest.raises(ValueError):
+            st.maybe_rebalance()
+
+    def test_rebalance_deferred_while_transactions_run(self):
+        db, _ = make_pair(shards=2)
+        st = db.sharded("t")
+        st.split_rows = 10  # far exceeded already
+        txn = db.begin()
+        txn.insert("t__s0", (1, 1, "x"))
+        assert st.maybe_rebalance() == 0
+        assert st.num_shards == 2
+        txn.commit()
+        assert st.maybe_rebalance() > 0
+
+    def test_queries_consistent_across_every_rebalance_step(self):
+        """No torn reads: every query issued between rebalance actions
+        sees the full, consistent logical image."""
+        db, oracle = make_pair(shards=1)
+        st = db.sharded("t")
+        apply_both(db, oracle, SCATTER)
+        expected = oracle.query("t").rows()
+        for action in ["split", "split", "merge", "split", "merge",
+                       "merge"]:
+            if action == "split":
+                split_shard(st, 0)
+            else:
+                merge_adjacent(st, 0)
+            assert db.query("t").rows() == expected
+            assert db.row_count("t") == len(expected)
+
+
+class TestRebalanceWalHygiene:
+    def test_wal_replays_exactly_after_split(self):
+        from repro.txn import recover_database
+
+        db, oracle = make_pair(shards=1)
+        apply_both(db, oracle, SCATTER)
+        st = db.sharded("t")
+        assert split_shard(st, 0)
+        db.insert("t", (301, 1, "post"))
+        oracle.insert("t", (301, 1, "post"))
+        # crash now: rebuild from shard stable images + WAL
+        db2 = Database(compressed=False)
+        for shard in st.shard_names:
+            db2.create_table(shard, int_schema(),
+                             db.manager.state_of(shard).stable.rows())
+        recover_database(db2, db.manager.wal)
+        assert db2.image_rows("t") == oracle.image_rows("t")
+
+    def test_retired_shard_leaves_no_wal_records(self):
+        db, _ = make_pair(shards=1)
+        db.apply_batch("t", SCATTER)
+        st = db.sharded("t")
+        old = list(st.shard_names)
+        assert split_shard(st, 0)
+        for record in db.manager.wal.records:
+            for name in old:
+                assert name not in record.tables
+
+    def test_retired_shard_blocks_dropped_from_store(self):
+        db, _ = make_pair(shards=1)
+        st = db.sharded("t")
+        old = st.shard_names[0]
+        db.query("t")  # populate pool
+        assert split_shard(st, 0)
+        assert not db.store.has_column(old, "k")
+        with pytest.raises(KeyError):
+            db.manager.state_of(old)

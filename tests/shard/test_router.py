@@ -1,0 +1,101 @@
+"""Unit tests for key-range shard routing."""
+
+import pytest
+
+from repro import DataType, Schema
+from repro.shard import ShardRouter
+
+
+def schema():
+    return Schema.build(
+        ("k", DataType.INT64),
+        ("a", DataType.INT64),
+        sort_key=("k",),
+    )
+
+
+class TestShardOf:
+    def test_single_shard_takes_everything(self):
+        router = ShardRouter([])
+        assert router.num_shards == 1
+        assert router.shard_of((-100,)) == 0
+        assert router.shard_of((10**9,)) == 0
+
+    def test_half_open_ranges(self):
+        router = ShardRouter([(10,), (20,)])
+        assert router.shard_of((9,)) == 0
+        assert router.shard_of((10,)) == 1  # boundary belongs to the right
+        assert router.shard_of((19,)) == 1
+        assert router.shard_of((20,)) == 2
+        assert router.shard_of((5000,)) == 2
+
+    def test_multi_column_keys(self):
+        router = ShardRouter([("m", "b")])
+        assert router.shard_of(("a", "zzz")) == 0
+        assert router.shard_of(("m", "a")) == 0
+        assert router.shard_of(("m", "b")) == 1
+        assert router.shard_of(("z", "a")) == 1
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            ShardRouter([(10,), (10,)])
+        with pytest.raises(ValueError):
+            ShardRouter([(20,), (10,)])
+
+
+class TestKeyRanges:
+    def test_key_range_ends_are_open(self):
+        router = ShardRouter([(10,), (20,)])
+        assert router.key_range(0) == (None, (10,))
+        assert router.key_range(1) == ((10,), (20,))
+        assert router.key_range(2) == ((20,), None)
+
+    def test_shards_for_range(self):
+        router = ShardRouter([(10,), (20,), (30,)])
+        assert list(router.shards_for_range((12,), (25,))) == [1, 2]
+        assert list(router.shards_for_range(None, (9,))) == [0]
+        assert list(router.shards_for_range((30,), None)) == [3]
+        assert list(router.shards_for_range(None, None)) == [0, 1, 2, 3]
+
+
+class TestSplitOps:
+    def test_ops_route_by_addressed_key(self):
+        router = ShardRouter([(10,)])
+        parts = router.split_ops(schema(), [
+            ("ins", (5, 1)),
+            ("del", (15,)),
+            ("mod", (3,), "a", 9),
+            ("ins", (10, 2)),
+        ])
+        assert parts[0] == [("ins", (5, 1)), ("mod", (3,), "a", 9)]
+        assert parts[1] == [("del", (15,)), ("ins", (10, 2))]
+
+    def test_order_preserved_within_shard(self):
+        router = ShardRouter([(10,)])
+        ops = [("ins", (4, 1)), ("del", (4,)), ("ins", (4, 2))]
+        parts = router.split_ops(schema(), ops)
+        assert parts[0] == ops  # delete-then-reinsert chain stays intact
+
+    def test_split_rows(self):
+        router = ShardRouter([(10,)])
+        parts = router.split_rows(schema(), [(12, 0), (1, 1), (10, 2)])
+        assert parts[0] == [(1, 1)]
+        assert parts[1] == [(12, 0), (10, 2)]
+
+
+class TestBoundaryMaintenance:
+    def test_insert_and_remove_boundary(self):
+        router = ShardRouter([(10,), (30,)])
+        router.insert_boundary(1, (20,))
+        assert router.boundaries == [(10,), (20,), (30,)]
+        router.remove_boundary(1)
+        assert router.boundaries == [(10,), (30,)]
+
+    def test_split_key_must_fall_inside_shard(self):
+        router = ShardRouter([(10,), (30,)])
+        with pytest.raises(ValueError):
+            router.insert_boundary(1, (10,))
+        with pytest.raises(ValueError):
+            router.insert_boundary(1, (30,))
+        with pytest.raises(ValueError):
+            router.insert_boundary(0, (11,))
