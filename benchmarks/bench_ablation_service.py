@@ -1,0 +1,204 @@
+"""Ablation — async query service vs serial query issuance.
+
+Two gates:
+
+* **Correctness**: streamed service cursors must be *byte-identical* to
+  the synchronous ``Database.query_range`` oracle — checked live under
+  concurrent writers (each cursor against its own pinned snapshot re-read
+  through the sync API) and at quiescence (cursor vs the plain sync call).
+* **Speedup**: 8 concurrent skewed range scans submitted through the
+  service must beat issuing the same 8 scans serially by ≥ 1.5× on a
+  4-shard table. The win is cooperative scan sharing, not parallelism
+  (CI runs single-core): the skewed scans all want the same hot shards at
+  the same pinned version, so the per-shard job scheduler runs *one*
+  MergeScan per shard and fans its blocks to every attached cursor, whose
+  own key filters trim the union back — 8 requests, ~2 physical merges.
+
+The concurrency scaling series (1/2/4/8 concurrent scans) is recorded
+under ``benchmarks/results/ablation_service.json``.
+
+Run: ``pytest benchmarks/bench_ablation_service.py -q -s``
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database, DataType, Schema
+from repro.bench import Report, scaled
+
+N_ROWS = scaled(100_000)
+N_DELTAS = N_ROWS // 5          # hot-range PDT entries the merges pay for
+CONCURRENCY_SERIES = [1, 2, 4, 8]
+HOT_HI = N_ROWS // 2            # keys are 2i: first quarter of key space
+
+_report = Report(
+    f"Ablation: {N_ROWS}-row 4-shard table, skewed range scans, "
+    f"{N_DELTAS} hot deltas — serial issuance vs query service, ms",
+    ["concurrency", "serial_ms", "service_ms", "speedup_x", "jobs_shared"],
+)
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    if _report.rows:
+        _report.print()
+        _report.save("ablation_service")
+
+
+def make_db() -> Database:
+    schema = Schema.build(
+        ("k", DataType.INT64), ("v0", DataType.INT64),
+        ("v1", DataType.INT64), ("v2", DataType.INT64), sort_key=("k",),
+    )
+    db = Database(compressed=False)
+    db.create_sharded_table(
+        "t", schema, [(i * 2, i, i % 13, i % 101) for i in range(N_ROWS)],
+        shards=4,
+    )
+    rng = random.Random(5)
+    ops = {}
+    while len(ops) < N_DELTAS:
+        key = (rng.randrange(HOT_HI // 2) * 2,)
+        ops[key] = ("mod", key, "v0", rng.randrange(10**6))
+    db.apply_batch("t", list(ops.values()))
+    # Keep the Write-PDT small, as the paper's maintenance contract says:
+    # pins then capture the Read-PDT by reference and copy nothing.
+    for shard in db.sharded("t").shard_names:
+        db.manager.propagate_write_to_read(shard)
+    return db
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = make_db()
+    yield database
+    database.close()
+
+
+def skewed_scans(n: int) -> list[tuple]:
+    """``n`` overlapping ranges inside the hot half of the key space."""
+    step = max(HOT_HI // 32, 1)
+    return [
+        ((lo,), (lo + HOT_HI * 3 // 4,))
+        for lo in range(0, n * step, step)
+    ]
+
+
+def run_serial(db, scans) -> tuple[float, list]:
+    start = time.perf_counter()
+    rels = [
+        db.query_range("t", low=lo, high=hi, columns=["k", "v0"])
+        for lo, hi in scans
+    ]
+    return time.perf_counter() - start, rels
+
+
+def run_service(db, svc, scans) -> tuple[float, list]:
+    start = time.perf_counter()
+    with svc.pin() as pin:
+        cursors = svc.submit_many(
+            [{"table": "t", "low": lo, "high": hi, "columns": ["k", "v0"]}
+             for lo, hi in scans],
+            pin=pin,
+        )
+        rels = [cursor.to_relation() for cursor in cursors]
+    return time.perf_counter() - start, rels
+
+
+@pytest.mark.parametrize("concurrency", CONCURRENCY_SERIES)
+def test_scaling_series(db, concurrency):
+    scans = skewed_scans(concurrency)
+    serial_s, serial_rels = run_serial(db, scans)
+    with db.serve(workers=4) as svc:
+        service_s, service_rels = run_service(db, svc, scans)
+        shared = svc.stats.jobs_shared
+    for got, expect in zip(service_rels, serial_rels):
+        for c in ("k", "v0"):
+            assert got[c].tobytes() == expect[c].tobytes()
+    _report.add(concurrency, serial_s * 1e3, service_s * 1e3,
+                serial_s / service_s, shared)
+
+
+def test_acceptance_correctness():
+    """Gate (a): streamed cursors byte-identical to the synchronous
+    ``query_range`` oracle — under concurrent writers (pinned) and at
+    quiescence (unpinned)."""
+    db = make_db()
+    try:
+        svc = db.serve(workers=4)
+        stop = threading.Event()
+        write_errors: list = []
+
+        def writer():
+            rng = random.Random(99)
+            while not stop.is_set():
+                try:
+                    svc.submit_batch("t", [
+                        ("mod", (rng.randrange(HOT_HI // 2) * 2,), "v1",
+                         rng.randrange(10**6)),
+                    ]).result()
+                except BaseException as exc:
+                    write_errors.append(exc)
+                    return
+
+        writers = [threading.Thread(target=writer) for _ in range(2)]
+        for thread in writers:
+            thread.start()
+        streamed = []
+        try:
+            for lo, hi in skewed_scans(6):
+                pin = svc.pin()
+                cursor = svc.submit_range("t", low=lo, high=hi, pin=pin)
+                rel = cursor.to_relation()
+                streamed.append((pin, lo, hi, rel))
+        finally:
+            stop.set()
+            for thread in writers:
+                thread.join(timeout=30)
+        assert not write_errors, write_errors
+        # each cursor vs the sync oracle evaluated at its pinned version
+        for pin, lo, hi, rel in streamed:
+            oracle = db.query_range("t", low=lo, high=hi, pin=pin)
+            for c in rel.column_names:
+                assert rel[c].tobytes() == oracle[c].tobytes(), \
+                    f"column {c} differs under concurrent writers"
+            pin.release()
+        # at quiescence: cursor vs the plain synchronous call
+        lo, hi = (100,), (HOT_HI,)
+        cursor_rel = svc.submit_range("t", low=lo, high=hi).to_relation()
+        oracle = db.query_range("t", low=lo, high=hi)
+        for c in cursor_rel.column_names:
+            assert cursor_rel[c].tobytes() == oracle[c].tobytes()
+        print(f"\ncorrectness: {len(streamed)} streamed cursors "
+              f"byte-identical to pinned sync oracles under "
+              f"{len(writers)} writers; quiescent cursor identical to "
+              f"query_range")
+    finally:
+        db.close()
+
+
+def test_acceptance_speedup(db):
+    """Gate (b): ≥ 1.5× aggregate throughput for 8 concurrent skewed
+    range scans via the service vs issuing them serially (4 shards)."""
+    scans = skewed_scans(8)
+    serial_s, serial_rels = run_serial(db, scans)
+    with db.serve(workers=4) as svc:
+        service_s, service_rels = run_service(db, svc, scans)
+        shared = svc.stats.jobs_shared
+        scheduled = svc.stats.jobs_scheduled
+    for got, expect in zip(service_rels, serial_rels):
+        for c in ("k", "v0"):
+            assert got[c].tobytes() == expect[c].tobytes()
+    ratio = serial_s / service_s
+    print(f"\nacceptance: 8 scans serial {serial_s*1e3:.1f} ms, "
+          f"service {service_s*1e3:.1f} ms, speedup {ratio:.2f}x "
+          f"({scheduled} jobs scanned, {shared} shared, {N_ROWS} rows, "
+          f"{N_DELTAS} deltas)")
+    assert shared > 0, "skewed concurrent scans must share jobs"
+    assert ratio >= 1.5

@@ -138,6 +138,7 @@ def test_scaling_series(base, shards):
     elapsed, db = run_workload(schema, rows, shards)
     _report.add(shards, elapsed * 1000, db.scheduler.stats.checkpoints)
     _times[shards] = elapsed * 1000
+    db.close()
 
 
 def test_acceptance_correctness(base):
@@ -176,6 +177,8 @@ def test_acceptance_correctness(base):
             == oracle.table("t").column(c).values.tobytes()
     print(f"\ncorrectness: {len(ops)} ops over {N_ROWS} rows, "
           f"4-shard results byte-identical to oracle")
+    db.close()
+    oracle.close()
 
 
 def test_acceptance_speedup(base):
@@ -193,4 +196,6 @@ def test_acceptance_speedup(base):
           f"1-shard {single_s*1e3:.1f} ms, speedup {ratio:.2f}x "
           f"({ROUNDS} rounds x {BATCH} hot ops over {N_ROWS} rows, "
           f"fold threshold {FOLD_AT})")
+    single_db.close()
+    sharded_db.close()
     assert ratio >= 1.5

@@ -82,6 +82,11 @@ def main() -> None:
     print(f"\nrecovered from WAL: {recovered.sharded('users').num_shards} "
           f"shards, boundaries intact, {recovered.row_count('users')} rows")
 
+    # join both databases' shard-scan executors so the interpreter exits
+    # cleanly (Database is also usable as a context manager)
+    recovered.close()
+    db.close()
+
 
 if __name__ == "__main__":
     sys.argv = sys.argv[:1]  # scale-factor args of sibling examples ignored

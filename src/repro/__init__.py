@@ -36,6 +36,7 @@ from .core import (
 )
 from .db import BatchUpdater, Database
 from .engine import Relation, ScanTimer, scan_clean, scan_pdt, scan_vdt
+from .service import QueryService, StreamingCursor
 from .shard import ShardedTable, ShardRouter
 from .storage import (
     BlockStore,
@@ -46,7 +47,12 @@ from .storage import (
     SparseIndex,
     StableTable,
 )
-from .txn import Transaction, TransactionManager, WriteAheadLog
+from .txn import (
+    SnapshotPin,
+    Transaction,
+    TransactionManager,
+    WriteAheadLog,
+)
 from .vdt import VDT, vdt_merge_scan
 
 __version__ = "1.0.0"
@@ -60,14 +66,17 @@ __all__ = [
     "FlatPDT",
     "IOStats",
     "PDT",
+    "QueryService",
     "Relation",
     "ScanTimer",
     "Schema",
     "ShadowTable",
     "ShardRouter",
     "ShardedTable",
+    "SnapshotPin",
     "SparseIndex",
     "StableTable",
+    "StreamingCursor",
     "Transaction",
     "TransactionConflict",
     "TransactionManager",

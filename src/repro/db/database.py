@@ -97,6 +97,8 @@ class Database:
             self.manager, policy_from_spec(checkpoint_policy)
         )
         self.manager.add_commit_listener(self.scheduler.on_commit)
+        self._services: list = []  # attached QueryService front-ends
+        self._closed = False
 
     # -- DDL ---------------------------------------------------------------
 
@@ -194,6 +196,44 @@ class Database:
     def sharded_names(self) -> list[str]:
         return list(self._sharded)
 
+    # -- snapshot pins and the query service ------------------------------------
+
+    def pin_snapshot(self):
+        """Pin the current commit point of the whole database: a
+        per-table/per-shard LSN vector plus the captured layer stacks
+        behind it (see :mod:`repro.txn.pins`). Every query made against
+        the returned :class:`~repro.txn.pins.SnapshotPin` — via
+        ``query(..., pin=pin)``, ``query_range(..., pin=pin)``, or a
+        service cursor — sees exactly this version, across every shard,
+        however many writers, checkpoint folds, or shard splits run in
+        the meantime. Release pins promptly (they defer maintenance on
+        the tables they cover); usable as a context manager.
+
+        Concurrent use: take pins through ``QueryService.pin()`` (which
+        holds the service's commit lock) when writers run on other
+        threads; calling this directly is for single-threaded use.
+        """
+        return self.manager.pin_snapshot()
+
+    def serve(self, workers: int = 4, max_inflight: int = 32,
+              admission_timeout: float | None = None):
+        """Start a :class:`~repro.service.QueryService` over this
+        database — the concurrent front-end accepting simultaneous
+        query/range/update requests with streaming cursors. Closed by
+        :meth:`close` (or close the service itself)."""
+        from ..service import QueryService
+
+        return QueryService(self, workers=workers,
+                            max_inflight=max_inflight,
+                            admission_timeout=admission_timeout)
+
+    def attach_service(self, service) -> None:
+        self._services.append(service)
+
+    def detach_service(self, service) -> None:
+        if service in self._services:
+            self._services.remove(service)
+
     # -- transactions ----------------------------------------------------------
 
     def begin(self) -> Transaction:
@@ -245,7 +285,7 @@ class Database:
 
     def query(self, table: str, columns=None,
               timer: ScanTimer | None = None,
-              batch_rows: int = 4096) -> Relation:
+              batch_rows: int = 4096, sk=None, pin=None) -> Relation:
         """Scan the latest committed state (positional merge, no locks).
 
         Only the named ``columns`` are read from storage. Maintenance the
@@ -254,7 +294,20 @@ class Database:
         so PDT layers shrink back without a stop-the-world pause. Sharded
         tables additionally run the shard rebalancer here, then fan the
         scan out one MergeScan pipeline per shard.
+
+        ``sk`` adds an equality predicate on the sort key (or an SK
+        prefix): the lookup routes through the shard router to the owning
+        shard and through its sparse index to the qualifying SID range,
+        instead of fanning out (see :meth:`query_point`). ``pin`` scans a
+        :meth:`pin_snapshot` version instead of the latest state.
         """
+        if pin is not None:
+            return self._query_pinned(table, pin, low=sk, high=sk,
+                                      columns=columns, timer=timer,
+                                      batch_rows=batch_rows)
+        if sk is not None:
+            return self.query_point(table, sk, columns=columns,
+                                    batch_rows=batch_rows, timer=timer)
         if table in self._sharded:
             return self._query_sharded(table, columns, timer, batch_rows)
         self.scheduler.run_pending(table)
@@ -266,6 +319,67 @@ class Database:
             timer=timer,
             batch_rows=batch_rows,
         )
+
+    def query_point(self, table: str, sk, columns=None,
+                    batch_rows: int = 4096,
+                    timer: ScanTimer | None = None) -> Relation:
+        """Rows whose sort key equals ``sk`` (or extends it, for an SK
+        prefix).
+
+        The point twin of :meth:`query_range`: a sharded table routes
+        through the :class:`~repro.shard.ShardRouter` to the single
+        owning shard (full keys route in O(log shards); prefix keys fall
+        back to the prefix-aware range pruning), then the shard's sparse
+        index narrows the MergeScan to the qualifying SID range — no
+        fan-out, cold shards untouched.
+        """
+        import time
+
+        sk = tuple(sk)
+        start = time.perf_counter()
+        if table in self._sharded:
+            sharded = self._sharded[table]
+            if len(sk) < len(sharded.schema.sort_key):
+                # A prefix may straddle a boundary sharing it; the range
+                # path prunes prefix-aware.
+                rel = self.query_range(table, low=sk, high=sk,
+                                       columns=columns,
+                                       batch_rows=batch_rows)
+            else:
+                with sharded.merge_io_after():
+                    rel = self._range_scan_physical(
+                        sharded.physical_for(sk), sk, sk, columns,
+                        batch_rows)
+        else:
+            rel = self._range_scan_physical(table, sk, sk, columns,
+                                            batch_rows)
+        if timer is not None:
+            timer.add(table, time.perf_counter() - start)
+        return rel
+
+    def _query_pinned(self, table: str, pin, low=None, high=None,
+                      columns=None, timer: ScanTimer | None = None,
+                      batch_rows: int = 4096) -> Relation:
+        """Materialize a scan of a pinned version (shared by ``query`` and
+        ``query_range`` with ``pin=``): planned and pruned exactly like a
+        service read, executed inline."""
+        import time
+
+        from ..service.plan import iter_plan_blocks, plan_scan
+
+        plan = plan_scan(pin, table, low=low, high=high, columns=columns)
+        start = time.perf_counter()
+        io_scope = (
+            self._sharded[table].merge_io_after()
+            if table in self._sharded else contextlib.nullcontext()
+        )
+        with io_scope:
+            rel = Relation.from_batches(
+                plan.columns, iter_plan_blocks(plan, block_rows=batch_rows)
+            )
+        if timer is not None:
+            timer.add(table, time.perf_counter() - start)
+        return rel
 
     def _query_sharded(self, table: str, columns, timer, batch_rows
                        ) -> Relation:
@@ -289,21 +403,34 @@ class Database:
         return rel
 
     def query_range(self, table: str, low=None, high=None, columns=None,
-                    batch_rows: int = 4096) -> Relation:
+                    batch_rows: int = 4096, pin=None) -> Relation:
         """Rows whose sort key (or SK prefix) lies in ``[low, high]``.
 
         Uses the table's *stale* sparse index — built once on the stable
         image and never maintained — to restrict the positional MergeScan
         to the qualifying SID range; ghost-respecting SID assignment keeps
         the pruning correct under any update load (paper section 2.1,
-        "Respecting Deletes").
+        "Respecting Deletes"). ``pin`` evaluates the range against a
+        :meth:`pin_snapshot` version instead of the latest state.
         """
-        from ..core.stack import merge_scan_layers
-
+        if pin is not None:
+            return self._query_pinned(table, pin, low=low, high=high,
+                                      columns=columns,
+                                      batch_rows=batch_rows)
         if table in self._sharded:
             return self._query_range_sharded(table, low, high, columns,
                                              batch_rows)
-        state = self.manager.state_of(table)
+        return self._range_scan_physical(table, low, high, columns,
+                                         batch_rows)
+
+    def _range_scan_physical(self, physical: str, low, high, columns,
+                             batch_rows: int) -> Relation:
+        """Sparse-index-pruned MergeScan of one physical table, filtered
+        to the inclusive ``[low, high]`` sort-key bounds — the shared body
+        of ``query_range`` (unsharded) and ``query_point``."""
+        from ..core.stack import merge_scan_layers
+
+        state = self.manager.state_of(physical)
         schema = state.stable.schema
         if columns is None:
             columns = list(schema.column_names)
@@ -313,7 +440,7 @@ class Database:
             scan_cols,
             merge_scan_layers(
                 state.stable,
-                self.manager.latest_layers(table),
+                self.manager.latest_layers(physical),
                 columns=scan_cols,
                 start=sid_range.start,
                 stop=sid_range.stop,
@@ -417,6 +544,32 @@ class Database:
         if table in self._sharded:
             return self._sharded[table].delta_bytes()
         return delta_memory_usage(self.manager, table)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the database down cleanly: close attached query services
+        (joining their workers), join every sharded table's scan
+        executor, and drop retired-shard storage. Idempotent; after it,
+        the interpreter exits without lingering pool threads. Usable as a
+        context manager::
+
+            with Database() as db:
+                ...
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for service in list(self._services):
+            service.close()
+        for sharded in self._sharded.values():
+            sharded.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- temperature control (benchmarks) ---------------------------------------------------
 

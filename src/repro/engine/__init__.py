@@ -5,6 +5,7 @@ from .relation import EngineError, GroupBy, Relation
 from .scan import (
     ScanTimer,
     fanout_scan_blocks,
+    rebase_block_streams,
     scan_clean,
     scan_pdt,
     scan_vdt,
@@ -17,6 +18,7 @@ __all__ = [
     "ScanTimer",
     "fanout_scan_blocks",
     "functions",
+    "rebase_block_streams",
     "scan_clean",
     "scan_pdt",
     "scan_vdt",

@@ -100,6 +100,28 @@ def scan_pdt_blocks(table, layers, columns=None, start: int = 0,
     return reblock(stream, block_rows=block_rows)
 
 
+def rebase_block_streams(parts):
+    """Concatenate per-partition block streams into one global RID domain.
+
+    ``parts`` is an ordered iterable of ``(first_rid, {column: ndarray})``
+    block streams, each over its partition's *local* RID domain (starting
+    at 0). Blocks are yielded in partition order with local RIDs rebased:
+    partition ``i``'s offset is the total row count the preceding
+    partitions produced, measured from their actual output — so the
+    offsets stay exact under any per-partition insert/delete balance.
+    Shard fan-out and the query service's streaming cursors share this as
+    the single definition of cross-shard RID order.
+    """
+    offset = 0
+    for part in parts:
+        produced = 0
+        for first_rid, arrays in part:
+            yield offset + first_rid, arrays
+            if arrays:
+                produced = first_rid + len(next(iter(arrays.values())))
+        offset += produced
+
+
 def fanout_scan_blocks(sources, executor=None):
     """Fan a scan out over partitions and re-concatenate in key order.
 
@@ -107,11 +129,8 @@ def fanout_scan_blocks(sources, executor=None):
     returning a ``(first_rid, {column: ndarray})`` block stream over one
     partition's *local* RID domain (starting at 0). Partitions are scanned
     — in parallel when an ``executor`` (``concurrent.futures``-style) is
-    given, otherwise sequentially — and their blocks are yielded in
-    partition order with local RIDs rebased into the global RID domain:
-    partition ``i``'s offset is the total row count the preceding
-    partitions produced, measured from their actual output (so the offsets
-    stay exact under any per-partition insert/delete balance).
+    given, otherwise sequentially — and their blocks are re-concatenated
+    by :func:`rebase_block_streams`.
 
     With an executor every partition's stream is materialized inside its
     worker; block *contents* are untouched either way (pass-through arrays
@@ -122,14 +141,7 @@ def fanout_scan_blocks(sources, executor=None):
         parts = (future.result() for future in futures)
     else:
         parts = (source() for source in sources)
-    offset = 0
-    for part in parts:
-        produced = 0
-        for first_rid, arrays in part:
-            yield offset + first_rid, arrays
-            if arrays:
-                produced = first_rid + len(next(iter(arrays.values())))
-        offset += produced
+    yield from rebase_block_streams(parts)
 
 
 def scan_vdt(table, vdt, columns=None, timer: ScanTimer | None = None,

@@ -1,0 +1,281 @@
+"""Per-shard scan jobs, cooperative sharing, and admission control.
+
+The service decomposes every read request into one job per shard (the
+:mod:`~repro.service.plan` output). Jobs are the unit of scheduling *and*
+of sharing: a :class:`ShardScanJob` carries a list of consumer feeds, and
+any request whose spec reads the same pinned version
+(:attr:`~repro.service.plan.ShardScanSpec.share_key`) can attach to a job
+that has not started yet instead of scheduling its own scan. The job then
+runs one MergeScan over the union of its consumers' SID ranges and pushes
+every block to every feed — the cooperative-scans idea (Zukowski et al.'s
+X100 lineage, the same system family as the paper): under concurrent
+skewed analytics most requests want the same hot blocks, so one physical
+scan amortizes across all of them. Each consumer's own key filter discards
+whatever the union over-scans, which is what makes attach-with-extension
+unconditionally safe.
+
+Feeds are unbounded: a job never blocks on a slow consumer (so job workers
+cannot deadlock), and memory stays bounded because admission control
+bounds in-flight *requests* — the same envelope as the thread-pool fan-out
+path, which materializes whole per-shard scans per query.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+class ServiceError(RuntimeError):
+    """Base class for query-service failures."""
+
+
+class ServiceClosed(ServiceError):
+    """Request submitted to a closed service."""
+
+
+class ServiceSaturated(ServiceError):
+    """Admission control could not grant a slot within the timeout."""
+
+
+_DONE = object()  # feed sentinel: the producing job finished cleanly
+
+
+class ShardFeed:
+    """One consumer's view of one shard job's block stream."""
+
+    def __init__(self):
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+
+    def put(self, item) -> None:
+        self._queue.put(item)
+
+    def finish(self) -> None:
+        self._queue.put(_DONE)
+
+    def fail(self, exc: BaseException) -> None:
+        self._queue.put(exc)
+
+    def blocks(self):
+        """Yield ``(first_rid, arrays)`` until the job finishes; re-raise
+        the job's failure in the consumer."""
+        while True:
+            item = self._queue.get()
+            if item is _DONE:
+                return
+            if isinstance(item, BaseException):
+                raise item
+            yield item
+
+
+class ShardScanJob:
+    """One scheduled scan of one shard's pinned version, multi-consumer."""
+
+    def __init__(self, spec, block_rows: int):
+        self.spec = spec
+        self.block_rows = block_rows
+        self.sid_lo = spec.sid_lo
+        self.sid_hi = spec.sid_hi
+        self._feeds: list[ShardFeed] = [ShardFeed()]
+        self._lock = threading.Lock()
+        self._started = False
+        self._finished = False
+        self._done_callbacks: list = []
+
+    @property
+    def first_feed(self) -> ShardFeed:
+        return self._feeds[0]
+
+    @property
+    def consumers(self) -> int:
+        return len(self._feeds)
+
+    def try_attach(self, spec) -> ShardFeed | None:
+        """Join this job if it has not started: extend the scanned range
+        to the union and add a feed. Returns ``None`` once the scan is
+        underway (the caller then schedules its own job)."""
+        with self._lock:
+            if self._started:
+                return None
+            self.sid_lo = min(self.sid_lo, spec.sid_lo)
+            self.sid_hi = max(self.sid_hi, spec.sid_hi)
+            feed = ShardFeed()
+            self._feeds.append(feed)
+            return feed
+
+    def add_done_callback(self, callback) -> None:
+        """Run ``callback`` once the scan stops touching its pinned
+        inputs (pin-lease holds ride on this). Runs immediately if the
+        job already finished."""
+        with self._lock:
+            if not self._finished:
+                self._done_callbacks.append(callback)
+                return
+        callback()
+
+    def run(self) -> None:
+        """Scan the union range once, fanning blocks to every consumer."""
+        with self._lock:
+            self._started = True
+            feeds = list(self._feeds)
+        try:
+            for block in self.spec.stream(self.sid_lo, self.sid_hi,
+                                          self.block_rows):
+                for feed in feeds:
+                    feed.put(block)
+        except BaseException as exc:  # propagate into every consumer
+            for feed in feeds:
+                feed.fail(exc)
+        else:
+            for feed in feeds:
+                feed.finish()
+        finally:
+            with self._lock:
+                self._finished = True
+                callbacks, self._done_callbacks = self._done_callbacks, []
+            for callback in callbacks:
+                callback()
+
+
+class JobScheduler:
+    """Coalesces compatible shard scans and hands jobs to the worker pool.
+
+    ``schedule`` only *registers* work; the caller submits the returned
+    new jobs to its executor after the whole request (or request batch)
+    is planned — so every spec a multi-request submission produces gets
+    its sharing chance before any scan starts.
+    """
+
+    def __init__(self):
+        self._open: dict[tuple, ShardScanJob] = {}
+        self._lock = threading.Lock()
+
+    def schedule(self, spec, block_rows: int
+                 ) -> tuple[ShardFeed, ShardScanJob, bool]:
+        """``(feed, job, shared)`` for ``spec`` — ``shared`` is True when
+        an open compatible job absorbed the spec; otherwise the caller
+        must submit the (new) job to its executor."""
+        key = spec.share_key + (block_rows,)
+        with self._lock:
+            job = self._open.get(key)
+            if job is not None:
+                feed = job.try_attach(spec)
+                if feed is not None:
+                    return feed, job, True
+            job = ShardScanJob(spec, block_rows)
+            self._open[key] = job
+            return job.first_feed, job, False
+
+    def run_job(self, job: ShardScanJob) -> None:
+        """Executor entry point: close the sharing window, then scan."""
+        key = job.spec.share_key + (job.block_rows,)
+        with self._lock:
+            if self._open.get(key) is job:
+                del self._open[key]
+        job.run()
+
+
+class AdmissionController:
+    """Bounds in-flight read requests (the service's backpressure).
+
+    ``acquire(n)`` grants all ``n`` slots of a batch atomically —
+    all-or-nothing, so two concurrent batch submissions can never
+    hold-and-wait each other into a deadlock. It blocks until the slots
+    free (or ``timeout`` elapses — :class:`ServiceSaturated`); writers
+    are serialized by the commit lock and are not admission-bounded.
+    Memory for buffered result blocks is proportional to
+    ``max_inflight``.
+    """
+
+    def __init__(self, max_inflight: int, timeout: float | None = None):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        self.max_inflight = max_inflight
+        self.timeout = timeout
+        self._cond = threading.Condition()
+        self.inflight = 0
+        self.peak_inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+
+    def acquire(self, n: int = 1) -> None:
+        if n > self.max_inflight:
+            raise ValueError(
+                f"batch of {n} exceeds max_inflight {self.max_inflight}"
+            )
+        deadline = (
+            None if self.timeout is None
+            else time.monotonic() + self.timeout
+        )
+        with self._cond:
+            while self.inflight + n > self.max_inflight:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                timed_out = (remaining is not None and remaining <= 0) \
+                    or not self._cond.wait(remaining)
+                if timed_out:
+                    self.rejected += n
+                    raise ServiceSaturated(
+                        f"no admission slot within {self.timeout}s "
+                        f"({self.inflight} requests in flight)"
+                    )
+            self.inflight += n
+            self.admitted += n
+            self.peak_inflight = max(self.peak_inflight, self.inflight)
+
+    def release(self, n: int = 1) -> int:
+        with self._cond:
+            self.inflight -= n
+            self._cond.notify_all()
+            return self.inflight
+
+
+@dataclass
+class RequestStats:
+    """Per-request timing and volume, attached to every cursor."""
+
+    submitted_at: float = 0.0
+    first_block_at: float | None = None
+    finished_at: float | None = None
+    blocks: int = 0
+    rows: int = 0
+    shards: int = 0
+    shared_jobs: int = 0  # shard scans served by an already-open job
+
+    @property
+    def time_to_first_block(self) -> float | None:
+        if self.first_block_at is None:
+            return None
+        return self.first_block_at - self.submitted_at
+
+    @property
+    def total_time(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+
+@dataclass
+class ServiceStats:
+    """Service-wide counters (guarded by the service's stats lock)."""
+
+    queries: int = 0
+    range_queries: int = 0
+    updates: int = 0
+    batches: int = 0
+    jobs_scheduled: int = 0
+    jobs_shared: int = 0
+    blocks_streamed: int = 0
+    rows_streamed: int = 0
+    maintenance_runs: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def bump(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)

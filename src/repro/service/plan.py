@@ -1,0 +1,178 @@
+"""Planning pinned scans: from a snapshot pin to per-shard scan specs.
+
+Every read through the query service (and every ``Database`` query made
+against an explicit pin) is planned here: the pin's captured shard layout
+routes range predicates to the shards whose key ranges intersect, each
+surviving shard's captured (stale) sparse index narrows the scan to a SID
+range, and the result is an ordered list of :class:`ShardScanSpec` — one
+per shard, each naming exactly the pinned objects a
+:func:`~repro.engine.scan.scan_pdt_blocks` pipeline needs. The same
+two-level pruning ``Database.query_range`` performs on live state, against
+a frozen version.
+
+A spec's :attr:`~ShardScanSpec.share_key` identifies the pinned *version*
+it reads (object identities of the stable image and PDT layers, plus the
+projected columns): two concurrent requests whose specs share a key can be
+served by one physical scan — the cooperative-scan sharing the service's
+job scheduler exploits. Pins taken under the same commit LSN share their
+Write-PDT copies through the manager's snapshot cache, so even separately
+pinned requests coalesce while no commit intervenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.merge import MERGE_BLOCK_ROWS
+from ..engine import functions as fn
+from ..engine.scan import rebase_block_streams, scan_pdt_blocks
+from ..shard.router import ShardRouter
+
+
+@dataclass(frozen=True)
+class ShardScanSpec:
+    """One shard's share of a pinned scan: the version + the SID range."""
+
+    pinned: object  # PinnedTable
+    scan_cols: tuple
+    sid_lo: int
+    sid_hi: int  # >= stable rows means "to the end", incl. trailing inserts
+
+    @property
+    def share_key(self) -> tuple:
+        """Identity of the scanned version and projection. Two specs with
+        equal keys read identical bytes, whatever their SID ranges — a
+        shared job scans the union range and each consumer's key filter
+        discards the excess."""
+        return (
+            self.pinned.name,
+            id(self.pinned.stable),
+            tuple(id(layer) for layer in self.pinned.layers),
+            self.scan_cols,
+        )
+
+    def stream(self, sid_lo: int | None = None, sid_hi: int | None = None,
+               block_rows: int = MERGE_BLOCK_ROWS):
+        """Block pipeline over ``[sid_lo, sid_hi)`` of the pinned version
+        (defaults to the spec's own range; shared jobs pass the union)."""
+        return scan_pdt_blocks(
+            self.pinned.stable,
+            list(self.pinned.layers),
+            columns=list(self.scan_cols),
+            start=self.sid_lo if sid_lo is None else sid_lo,
+            stop=self.sid_hi if sid_hi is None else sid_hi,
+            block_rows=block_rows,
+        )
+
+
+@dataclass(frozen=True)
+class ScanPlan:
+    """An ordered set of shard scans plus the request's filter/projection."""
+
+    table: str
+    columns: tuple
+    scan_cols: tuple
+    sort_key: tuple
+    parts: tuple
+    low: tuple | None = None
+    high: tuple | None = None
+
+    @property
+    def filtered(self) -> bool:
+        return self.low is not None or self.high is not None
+
+    def filter_block(self, arrays: dict) -> dict | None:
+        """Apply the inclusive (prefix-aware) ``[low, high]`` sort-key
+        predicate to one block and project to the requested columns;
+        ``None`` when no row qualifies. Blocks the predicate fully covers
+        pass through without copying."""
+        keys = [arrays[c] for c in self.sort_key]
+        mask = None
+        if self.low is not None:
+            mask = fn.lex_ge(keys, self.low)
+        if self.high is not None:
+            hi_mask = fn.lex_le(keys, self.high)
+            mask = hi_mask if mask is None else mask & hi_mask
+        if mask is None or mask.all():
+            return {c: arrays[c] for c in self.columns}
+        if not mask.any():
+            return None
+        return {c: arrays[c][mask] for c in self.columns}
+
+
+def plan_scan(pin, table: str, low=None, high=None,
+              columns=None) -> ScanPlan:
+    """Plan a scan of ``table`` at the pin's commit point.
+
+    ``low``/``high`` are inclusive sort-key (or SK-prefix) bounds, as in
+    ``Database.query_range``; with neither, the plan is a full scan whose
+    blocks stream in global RID order.
+    """
+    low = tuple(low) if low is not None else None
+    high = tuple(high) if high is not None else None
+    if pin.is_sharded(table):
+        layout = pin.layout(table)
+        names = list(layout.shard_names)
+        schema = pin.table(names[0]).stable.schema
+        if low is not None or high is not None:
+            router = ShardRouter(layout.boundaries)
+            # Inverted bounds prune every shard: an empty plan, matching
+            # the empty relation the live range path returns.
+            names = [names[i] for i in router.shards_for_range(low, high)]
+    else:
+        names = [pin.table(table).name]
+        schema = pin.table(names[0]).stable.schema
+    columns = list(schema.column_names) if columns is None else list(columns)
+    filtered = low is not None or high is not None
+    scan_cols = (
+        list(dict.fromkeys(columns + list(schema.sort_key)))
+        if filtered else columns
+    )
+    parts = []
+    for name in names:
+        pt = pin.table(name)
+        if filtered:
+            sid_range = pt.sparse_index.sid_range_for_key_range(low, high)
+            lo, hi = sid_range.start, sid_range.stop
+        else:
+            lo, hi = 0, pt.stable.num_rows
+        parts.append(ShardScanSpec(pt, tuple(scan_cols), lo, hi))
+    return ScanPlan(
+        table=table, columns=tuple(columns), scan_cols=tuple(scan_cols),
+        sort_key=tuple(schema.sort_key), parts=tuple(parts),
+        low=low, high=high,
+    )
+
+
+def filter_blocks(plan: ScanPlan, stream):
+    """Apply a plan's filter/projection to a rebased block stream.
+
+    Unfiltered plans pass through in the exact global RID domain;
+    filtered plans re-number RIDs densely over the qualifying rows. The
+    single definition both the inline pinned queries and the service's
+    streaming cursors run their blocks through — the byte-identity
+    oracle and the streamed path cannot diverge.
+    """
+    if not plan.filtered:
+        yield from stream
+        return
+    out_rid = 0
+    for _, arrays in stream:
+        block = plan.filter_block(arrays)
+        if block is None:
+            continue
+        n = len(next(iter(block.values()))) if block else 0
+        if n:
+            yield out_rid, block
+            out_rid += n
+
+
+def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS):
+    """Execute a plan synchronously, yielding ``(rid, arrays)`` result
+    blocks — the inline (service-less) form pinned ``Database`` queries
+    use."""
+    return filter_blocks(
+        plan,
+        rebase_block_streams(spec.stream(block_rows=block_rows)
+                             for spec in plan.parts),
+    )

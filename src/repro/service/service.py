@@ -1,0 +1,378 @@
+"""The concurrent query front-end: admission, pins, jobs, cursors.
+
+``QueryService`` is the database's concurrency boundary. Synchronous
+callers use the ``submit_*`` methods (thread-safe, returning streaming
+cursors or futures); asyncio callers use the ``query`` / ``query_range`` /
+``apply_batch`` / ``update`` coroutines, which are a thin façade over the
+same worker pool — submission hops to a thread, cursors are async-iterable
+natively.
+
+One read request flows::
+
+    acquire admission slot                 (backpressure: bounded in-flight)
+      -> lease a snapshot pin              (one commit point, whole database)
+      -> plan per-shard scans against it   (router + sparse-index pruning)
+      -> schedule one job per shard        (coalescing with open compatible
+                                            jobs: cooperative shared scans)
+      -> return a StreamingCursor          (blocks stream as shards finish)
+
+Writes (scalar updates and bulk batches) run on the same pool but are
+serialized by the service's commit lock — the PDT layering makes readers
+never block on them: every live cursor reads pinned layer copies, and the
+write path only ever mutates the Write-PDT pins hold copies of. When the
+last in-flight request drains, the service runs the maintenance the
+checkpoint scheduler and rebalancer deferred while pins were live — the
+same between-queries draining ``Database.query`` does for synchronous use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from ..core.merge import MERGE_BLOCK_ROWS
+from .cursor import StreamingCursor
+from .jobs import (
+    AdmissionController,
+    JobScheduler,
+    ServiceClosed,
+    ServiceStats,
+)
+from .plan import plan_scan
+
+DEFAULT_WORKERS = 4
+
+
+class _PinLease:
+    """Refcounted hold on one submission's pin.
+
+    Both the cursors *and* the shard scan jobs of a submission retain the
+    lease: a cursor closed early must not let maintenance rewrite the
+    pinned objects a still-running job is scanning, so the pin releases
+    (if owned) only when the last cursor has finished AND the last job
+    has stopped reading.
+    """
+
+    def __init__(self, pin, owns: bool):
+        self.pin = pin
+        self.owns = owns
+        # One constructor hold, owned by the submission itself until all
+        # cursors and jobs took theirs — otherwise a shared job finishing
+        # mid-submit could transiently drain the count to zero and
+        # release the pin under the rest of the batch.
+        self._count = 1
+        self._lock = threading.Lock()
+
+    def retain(self) -> "_PinLease":
+        with self._lock:
+            self._count += 1
+        return self
+
+    def release(self) -> bool:
+        """Drop one hold; True when the lease just drained."""
+        with self._lock:
+            self._count -= 1
+            drained = self._count == 0
+        if drained and self.owns:
+            self.pin.release()
+        return drained
+
+
+class QueryService:
+    """Concurrent front-end over one :class:`~repro.db.database.Database`.
+
+    Parameters: ``workers`` sizes the scan/write pool; ``max_inflight``
+    bounds admitted read requests (buffered result memory scales with it);
+    ``admission_timeout`` turns backpressure into
+    :class:`~repro.service.jobs.ServiceSaturated` after that many seconds
+    (``None`` blocks); ``block_rows`` is the cursor block granularity.
+
+    The service registers itself with the database, so ``db.close()``
+    joins its workers; use either as a context manager.
+    """
+
+    def __init__(self, db, workers: int = DEFAULT_WORKERS,
+                 max_inflight: int = 32,
+                 admission_timeout: float | None = None,
+                 block_rows: int = MERGE_BLOCK_ROWS):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._db = db
+        self.block_rows = block_rows
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="query-service",
+        )
+        self._write_lock = threading.RLock()
+        self._scheduler = JobScheduler()
+        self._admission = AdmissionController(max_inflight,
+                                              timeout=admission_timeout)
+        self.stats = ServiceStats()
+        self._leases: set[_PinLease] = set()
+        self._leases_lock = threading.Lock()
+        self._closed = False
+        db.attach_service(self)
+
+    # -- pins --------------------------------------------------------------
+
+    def pin(self):
+        """A database-wide snapshot pin at the current commit point, taken
+        under the service's commit lock (so it cannot straddle a write).
+        Pass it to submissions to run several requests against one
+        consistent version; release it (or use ``with``) when done."""
+        self._check_open()
+        with self._write_lock:
+            return self._db.pin_snapshot()
+
+    # -- read submissions --------------------------------------------------
+
+    def submit_query(self, table: str, columns=None, pin=None
+                     ) -> StreamingCursor:
+        """Full-table scan at one commit point; returns its cursor."""
+        return self.submit_many(
+            [{"table": table, "columns": columns}], pin=pin)[0]
+
+    def submit_range(self, table: str, low=None, high=None, columns=None,
+                     pin=None) -> StreamingCursor:
+        """Sort-key range scan ``[low, high]`` (prefix-aware, like
+        ``Database.query_range``) at one commit point."""
+        return self.submit_many(
+            [{"table": table, "low": low, "high": high,
+              "columns": columns}], pin=pin)[0]
+
+    def submit_many(self, requests, pin=None) -> list[StreamingCursor]:
+        """Admit a batch of read requests against one shared pin.
+
+        ``requests`` is a list of dicts with keys ``table`` and optional
+        ``low`` / ``high`` / ``columns``. The batch is planned before any
+        scan starts, so requests touching the same shards at the same
+        version are guaranteed to share scan jobs — the submission shape
+        for concurrent analytics over one consistent snapshot.
+        """
+        self._check_open()
+        requests = list(requests)
+        if not requests:
+            return []
+        # All-or-nothing batch grant; raises ValueError when the batch
+        # exceeds max_inflight outright.
+        self._admission.acquire(len(requests))
+        own_pin = pin is None
+        try:
+            if own_pin:
+                pin = self.pin()
+            # Planning is side-effect free; a bad request (unknown table,
+            # unknown column) fails the batch here, before any job exists.
+            plans = [
+                plan_scan(
+                    pin, request["table"],
+                    low=request.get("low"), high=request.get("high"),
+                    columns=request.get("columns"),
+                )
+                for request in requests
+            ]
+        except BaseException:
+            if own_pin and pin is not None:
+                pin.release()
+            self._admission.release(len(requests))
+            raise
+        lease = _PinLease(pin, owns=own_pin)
+        with self._leases_lock:
+            self._leases.add(lease)
+        cursors: list[StreamingCursor] = []
+        new_jobs: list = []
+        submitted = 0
+        try:
+            for plan in plans:
+                feeds = []
+                shared = 0
+                for spec in plan.parts:
+                    feed, job, was_shared = self._scheduler.schedule(
+                        spec, self.block_rows)
+                    feeds.append(feed)
+                    if was_shared:
+                        shared += 1
+                    else:
+                        new_jobs.append(job)
+                    # The job reads the pinned objects until it finishes —
+                    # hold the lease for it, so an early cursor close
+                    # cannot let maintenance rewrite state a live scan
+                    # depends on.
+                    lease.retain()
+                    job.add_done_callback(lambda: self._lease_done(lease))
+                lease.retain()  # the cursor's own hold
+                cursor = StreamingCursor(
+                    plan, feeds, on_finish=self._make_finisher(lease))
+                cursor.stats.shared_jobs = shared
+                cursors.append(cursor)
+                self.stats.bump(
+                    **{"range_queries" if plan.filtered else "queries": 1},
+                    jobs_scheduled=len(plan.parts) - shared,
+                    jobs_shared=shared,
+                )
+            # Only now do scans start: the batch had its sharing chance.
+            while submitted < len(new_jobs):
+                self._pool.submit(self._scheduler.run_job,
+                                  new_jobs[submitted])
+                submitted += 1
+        except BaseException:
+            # pool.submit racing close() is the realistic failure here;
+            # unwind so nothing leaks: run never-submitted jobs inline
+            # (other submissions may have attached to them — their feeds
+            # must terminate), close our cursors, free the slots of
+            # requests that never got one.
+            for job in new_jobs[submitted:]:
+                self._scheduler.run_job(job)
+            for cursor in cursors:
+                cursor.close()
+            self._admission.release(len(requests) - len(cursors))
+            self._lease_done(lease)
+            raise
+        self._lease_done(lease)  # drop the submission's constructor hold
+        return cursors
+
+    # -- write submissions -------------------------------------------------
+
+    def submit_batch(self, table: str, ops) -> Future:
+        """Apply a whole update batch (bulk path, one transaction, one WAL
+        record) through the service; resolves to the op count."""
+        self.stats.bump(batches=1)
+        return self._submit_write(
+            lambda: self._db.apply_batch(table, list(ops)))
+
+    def submit_update(self, table: str, op) -> Future:
+        """Apply one scalar op — ``("ins", row) | ("del", sk) |
+        ("mod", sk, column, value)`` — as its own transaction."""
+        kind = op[0]
+        if kind == "ins":
+            work = lambda: self._db.insert(table, op[1])  # noqa: E731
+        elif kind == "del":
+            work = lambda: self._db.delete(table, op[1])  # noqa: E731
+        elif kind == "mod":
+            work = lambda: self._db.modify(table, op[1], op[2],  # noqa: E731
+                                           op[3])
+        else:
+            raise ValueError(f"unknown op kind {kind!r}")
+        self.stats.bump(updates=1)
+        return self._submit_write(work)
+
+    def _submit_write(self, work) -> Future:
+        self._check_open()
+
+        def locked():
+            with self._write_lock:
+                return work()
+
+        return self._pool.submit(locked)
+
+    # -- asyncio façade ----------------------------------------------------
+
+    async def query(self, table: str, columns=None, pin=None
+                    ) -> StreamingCursor:
+        """Async submission; iterate the returned cursor with
+        ``async for``."""
+        return await asyncio.to_thread(
+            self.submit_query, table, columns=columns, pin=pin)
+
+    async def query_range(self, table: str, low=None, high=None,
+                          columns=None, pin=None) -> StreamingCursor:
+        return await asyncio.to_thread(
+            self.submit_range, table, low=low, high=high,
+            columns=columns, pin=pin)
+
+    async def apply_batch(self, table: str, ops) -> int:
+        return await asyncio.wrap_future(self.submit_batch(table, ops))
+
+    async def update(self, table: str, op) -> int:
+        return await asyncio.wrap_future(self.submit_update(table, op))
+
+    # -- maintenance hook --------------------------------------------------
+
+    def _lease_done(self, lease: _PinLease) -> None:
+        if lease.release():
+            with self._leases_lock:
+                self._leases.discard(lease)
+            # The pin this lease held may have been the last thing
+            # deferring maintenance; if the service is otherwise idle no
+            # later request would drain it, so kick a drain now.
+            if self._admission.inflight == 0 and not self._closed:
+                try:
+                    self._pool.submit(self._drain_maintenance)
+                except RuntimeError:
+                    pass  # closing; close() handles the leftovers
+
+    def _make_finisher(self, lease: _PinLease):
+        def on_finish(cursor: StreamingCursor) -> None:
+            self.stats.bump(blocks_streamed=cursor.stats.blocks,
+                            rows_streamed=cursor.stats.rows)
+            self._lease_done(lease)
+            if self._admission.release() == 0 and not self._closed:
+                try:
+                    self._pool.submit(self._drain_maintenance)
+                except RuntimeError:
+                    pass  # lost the race with close(); nothing to drain for
+
+        return on_finish
+
+    def _drain_maintenance(self) -> None:
+        """Between-requests maintenance: run what the checkpoint scheduler
+        and rebalancer deferred while pins were live — the service-side
+        twin of the draining ``Database.query`` does between queries."""
+        if self._closed or self._admission.inflight:
+            return
+        with self._write_lock:
+            if self._admission.inflight:
+                return  # a new request was admitted; it will drain later
+            self._db.scheduler.run_pending()
+            for name in self._db.sharded_names():
+                # maybe_rebalance also drains retired-shard storage whose
+                # pins have gone, at its quiescent entry point.
+                self._db.sharded(name).maybe_rebalance()
+        self.stats.bump(maintenance_runs=1)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("query service is closed")
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def inflight(self) -> int:
+        return self._admission.inflight
+
+    @property
+    def admission(self) -> AdmissionController:
+        return self._admission
+
+    def close(self) -> None:
+        """Reject new submissions, join the workers, release leftover pin
+        leases. Already-returned cursors can still be drained (their
+        blocks are buffered); idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._pool.shutdown(wait=True)
+        # Jobs have all finished; any lease still held belongs to a
+        # never-drained cursor. Shutdown outlives those readers: release
+        # their pins so maintenance is not deferred forever.
+        with self._leases_lock:
+            leases, self._leases = list(self._leases), set()
+        for lease in leases:
+            if lease.owns:
+                lease.pin.release()
+        self._db.detach_service(self)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return (
+            f"QueryService(inflight={self._admission.inflight}, "
+            f"peak={self._admission.peak_inflight}, {state})"
+        )

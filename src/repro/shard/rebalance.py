@@ -232,6 +232,17 @@ def maybe_rebalance(sharded, max_actions: int = 8) -> int:
         )
     if sharded.db.manager.running_count():
         return 0
+    # A quiescent point is also where retired-but-pinned shard storage
+    # gets dropped once the pins that captured it drain.
+    sharded.drain_retired()
+    if any(sharded.db.manager.is_pinned(name)
+           for name in sharded.shard_names):
+        # Live snapshot pins hold this table's current shard layout and
+        # images; restructuring now would strand their block drops and
+        # copy every touched Read-PDT. Pins are short-lived (one streamed
+        # request) — defer to the next maintenance point, exactly as the
+        # checkpoint scheduler defers folds.
+        return 0
     actions = 0
     if sharded.split_rows is not None:
         while actions < max_actions:

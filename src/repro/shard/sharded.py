@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import bisect
 import contextlib
+import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..engine.scan import fanout_scan_blocks, scan_pdt_blocks
@@ -67,6 +68,15 @@ class ShardedTable:
             (int(n.rsplit("__s", 1)[1]) for n in shard_names), default=-1
         )
         self._executor: ThreadPoolExecutor | None = None
+        # I/O accounting marks: last pool snapshot already folded into the
+        # database-level counters (see merge_io_after). One lock serializes
+        # concurrent flushes so every byte is merged exactly once.
+        self._io_lock = threading.Lock()
+        self._io_marks: dict = {}  # BufferPool -> IOSnapshot
+        # Shards a rebalance replaced while snapshot pins still referenced
+        # them, as (shard_name, private pool) pairs: their stable blocks
+        # stay alive until the pins drain.
+        self._retired_pending: list[tuple] = []
 
     # -- construction -----------------------------------------------------
 
@@ -159,13 +169,39 @@ class ShardedTable:
         return state
 
     def retire_shard(self, shard_name: str) -> None:
-        """Unregister a shard a rebalance replaced and drop its blocks."""
+        """Unregister a shard a rebalance replaced and drop its blocks.
+
+        While a snapshot pin still references the shard, the block drop is
+        deferred (shard names are never reused, so the retired image and
+        its replacements coexist in the block store) and happens in
+        :meth:`drain_retired` once the pins drain — pinned readers keep
+        scanning the exact stable image they captured.
+        """
         state = self.db.manager.unregister_table(shard_name)
-        pool = state.stable.pool
+        self.db.scheduler.forget(shard_name)
+        if self.db.manager.is_pinned(shard_name):
+            self._retired_pending.append((shard_name, state.stable.pool))
+        else:
+            self._drop_shard_storage(shard_name, state.stable.pool)
+
+    def _drop_shard_storage(self, shard_name: str, pool) -> None:
         if pool is not None:
             pool.store.drop_table(shard_name)
             pool.clear()
-        self.db.scheduler.forget(shard_name)
+            with self._io_lock:
+                self._io_marks.pop(pool, None)
+
+    def drain_retired(self) -> int:
+        """Drop storage of retired shards whose last pin has drained;
+        returns how many are still alive (waiting on pins)."""
+        still_pinned = []
+        for shard_name, pool in self._retired_pending:
+            if self.db.manager.is_pinned(shard_name):
+                still_pinned.append((shard_name, pool))
+            else:
+                self._drop_shard_storage(shard_name, pool)
+        self._retired_pending = still_pinned
+        return len(still_pinned)
 
     def log_layout(self) -> None:
         """Record the current boundaries + shard names (and the
@@ -263,16 +299,43 @@ class ShardedTable:
         the single accounting hook every fanned-out read path (queries,
         transactional scans, update-resolution sweeps) wraps itself in,
         so ``db.io`` stays honest under sharding."""
-        befores = [
-            (state.stable.pool, state.stable.pool.io.snapshot())
-            for state in self.shard_states()
-            if state.stable.pool is not None
-        ]
         try:
             yield
         finally:
-            for pool, before in befores:
-                self.db.io.merge(pool.io.since(before))
+            self.flush_io()
+
+    def flush_io(self) -> None:
+        """Merge per-shard I/O counters into ``db.io`` exactly once.
+
+        Per-pool *high-water marks* (the last snapshot already merged)
+        replace the per-call before-snapshots the fanned read paths used
+        to take: concurrent service requests scanning the same shard would
+        otherwise each compute overlapping deltas and double-count every
+        byte the other read. The single mark per pool, advanced under one
+        lock, means each increment is attributed to whichever flush sees
+        it first and to nothing else. Retired-but-pinned shards' pools are
+        flushed too, so pinned readers' I/O stays visible.
+        """
+        pools = [
+            state.stable.pool for state in self.shard_states()
+            if state.stable.pool is not None
+        ]
+        pools.extend(p for _, p in self._retired_pending if p is not None)
+        with self._io_lock:
+            for pool in pools:
+                snap = pool.io.snapshot()
+                mark = self._io_marks.get(pool)
+                delta = snap if mark is None else snap.minus(mark)
+                self._io_marks[pool] = snap
+                if delta.bytes_read < 0 or delta.blocks_read < 0:
+                    # The pool's counters were rolled back under us
+                    # (warm_table's restore); the new mark is all that
+                    # matters — merging a negative delta would corrupt
+                    # the database-level totals.
+                    continue
+                if delta.bytes_read or delta.blocks_read \
+                        or delta.bytes_by_column:
+                    self.db.io.merge(delta)
 
     def image_rows(self) -> list[tuple]:
         from ..core.stack import image_rows
@@ -365,9 +428,18 @@ class ShardedTable:
         return maybe_rebalance(self)
 
     def close(self) -> None:
+        """Join the scan executor and drop retired shards' storage.
+
+        Called from :meth:`Database.close`; interpreters then exit without
+        lingering non-daemon pool threads. Retired shards still waiting on
+        pins are dropped unconditionally — shutdown outlives any reader.
+        """
         if self._executor is not None:
-            self._executor.shutdown(wait=False)
+            self._executor.shutdown(wait=True)
             self._executor = None
+        for shard_name, pool in self._retired_pending:
+            self._drop_shard_storage(shard_name, pool)
+        self._retired_pending = []
 
     def __repr__(self) -> str:
         return (

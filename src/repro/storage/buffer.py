@@ -15,6 +15,7 @@ paper's Figure 19:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 
 import numpy as np
@@ -39,21 +40,30 @@ class BufferPool:
         self._cached_bytes = 0
         self.hits = 0
         self.misses = 0
+        # Concurrent service requests scan one shard through one pool;
+        # LRU bookkeeping (move_to_end / evict / insert) must not race.
+        self._lock = threading.RLock()
 
     # -- core access -----------------------------------------------------
 
     def get_block(self, table: str, column: str, block: int) -> np.ndarray:
         """Return the decoded block, reading from 'disk' on a miss."""
         key = BlockKey(table, column, block)
-        cached = self._cache.get(key)
-        if cached is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            return cached
-        self.misses += 1
+        with self._lock:
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+        # Decode outside the lock so concurrent scans of one shard miss
+        # in parallel; two workers racing on the same cold block decode
+        # it twice (both charged — the 'disk' really was read twice) and
+        # the second insert wins harmlessly.
         data = self.store.read_block(key)
         self.io.record_read(table, column, self.store.stored_size(key))
-        self._insert(key, data)
+        with self._lock:
+            self._insert(key, data)
         return data
 
     def read_rows(
@@ -80,8 +90,9 @@ class BufferPool:
 
     def clear(self) -> None:
         """Evict everything: the next query runs cold."""
-        self._cache.clear()
-        self._cached_bytes = 0
+        with self._lock:
+            self._cache.clear()
+            self._cached_bytes = 0
 
     def evict_table(self, table: str) -> None:
         """Evict one table's blocks, keeping the rest of the pool hot.
@@ -90,8 +101,10 @@ class BufferPool:
         its stale blocks means an incremental checkpoint does not turn
         every other table's next scan cold.
         """
-        for key in [k for k in self._cache if k.table == table]:
-            self._cached_bytes -= self._block_nbytes(self._cache.pop(key))
+        with self._lock:
+            for key in [k for k in self._cache if k.table == table]:
+                self._cached_bytes -= \
+                    self._block_nbytes(self._cache.pop(key))
 
     def warm_table(self, table: str, columns=None) -> None:
         """Pre-load a table's blocks without counting the reads as query I/O.
@@ -107,10 +120,7 @@ class BufferPool:
                 continue
             for blk in range(self.store.column_blocks(tbl, column)):
                 self.get_block(tbl, column, blk)
-        self.io.bytes_read = before.bytes_read
-        self.io.blocks_read = before.blocks_read
-        self.io.bytes_by_column.clear()
-        self.io.bytes_by_column.update(before.bytes_by_column)
+        self.io.restore(before)
 
     # -- internals ---------------------------------------------------------
 

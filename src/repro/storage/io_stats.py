@@ -10,6 +10,7 @@ runs can report an I/O-inclusive time.
 
 from __future__ import annotations
 
+import threading
 from collections import defaultdict
 from dataclasses import dataclass, field
 
@@ -48,11 +49,15 @@ class IOStats:
         self.blocks_read = 0
         self.bytes_by_column: dict = defaultdict(int)
         self.read_bandwidth = read_bandwidth_bytes_per_sec
+        # The query service scans one shard from several concurrent
+        # requests; counter updates (and db-level merges) must not race.
+        self._lock = threading.Lock()
 
     def record_read(self, table: str, column: str, nbytes: int) -> None:
-        self.bytes_read += nbytes
-        self.blocks_read += 1
-        self.bytes_by_column[(table, column)] += nbytes
+        with self._lock:
+            self.bytes_read += nbytes
+            self.blocks_read += 1
+            self.bytes_by_column[(table, column)] += nbytes
 
     def merge(self, other) -> "IOStats":
         """Fold another counter set (``IOStats`` or ``IOSnapshot``) into
@@ -63,18 +68,31 @@ class IOStats:
         counters); the database-level stats stay meaningful by merging the
         per-shard deltas back after every fanned-out query.
         """
-        self.bytes_read += other.bytes_read
-        self.blocks_read += other.blocks_read
-        for key, count in other.bytes_by_column.items():
-            self.bytes_by_column[key] += count
+        if isinstance(other, IOStats):
+            other = other.snapshot()
+        with self._lock:
+            self.bytes_read += other.bytes_read
+            self.blocks_read += other.blocks_read
+            for key, count in other.bytes_by_column.items():
+                self.bytes_by_column[key] += count
         return self
 
     def snapshot(self) -> IOSnapshot:
-        return IOSnapshot(
-            bytes_read=self.bytes_read,
-            blocks_read=self.blocks_read,
-            bytes_by_column=dict(self.bytes_by_column),
-        )
+        with self._lock:
+            return IOSnapshot(
+                bytes_read=self.bytes_read,
+                blocks_read=self.blocks_read,
+                bytes_by_column=dict(self.bytes_by_column),
+            )
+
+    def restore(self, snap: IOSnapshot) -> None:
+        """Roll the counters back to ``snap`` (buffer-pool warming charges
+        its pre-loads and then undoes them through this, under the lock)."""
+        with self._lock:
+            self.bytes_read = snap.bytes_read
+            self.blocks_read = snap.blocks_read
+            self.bytes_by_column.clear()
+            self.bytes_by_column.update(snap.bytes_by_column)
 
     def since(self, snap: IOSnapshot) -> IOSnapshot:
         return self.snapshot().minus(snap)
@@ -92,6 +110,7 @@ class IOStats:
         return nbytes / self.read_bandwidth
 
     def reset(self) -> None:
-        self.bytes_read = 0
-        self.blocks_read = 0
-        self.bytes_by_column.clear()
+        with self._lock:
+            self.bytes_read = 0
+            self.blocks_read = 0
+            self.bytes_by_column.clear()

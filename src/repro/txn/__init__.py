@@ -8,6 +8,7 @@ from .checkpoint import (
     delta_memory_usage,
 )
 from .manager import ManagerStats, TableState, TransactionManager
+from .pins import PinnedLayout, PinnedTable, SnapshotPin
 from .recovery import (
     recover_database,
     recover_manager,
@@ -40,7 +41,10 @@ __all__ = [
     "ManagerStats",
     "MemoryThresholdPolicy",
     "NeverPolicy",
+    "PinnedLayout",
+    "PinnedTable",
     "SchedulerStats",
+    "SnapshotPin",
     "TableLoad",
     "TableState",
     "Transaction",

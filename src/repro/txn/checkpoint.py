@@ -49,6 +49,11 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
     pool = state.stable.pool
     new_stable = StableTable.bulk_load(table, state.schema, rows)
     if pool is not None:
+        if manager.is_pinned(table):
+            # The new image reuses this table's block namespace; keep
+            # pinned readers correct by switching the outgoing stable to
+            # its retained in-memory columns before the blocks go away.
+            state.stable.detach_storage()
         pool.store.drop_table(table)
         new_stable.attach_storage(pool)
         pool.clear()
@@ -154,6 +159,8 @@ def checkpoint_table_range(manager: TransactionManager, table: str,
 
     pool = state.stable.pool
     if pool is not None:
+        if manager.is_pinned(table):
+            state.stable.detach_storage()  # pinned readers keep the old image
         pool.store.drop_table(table)
         new_stable.attach_storage(pool)
         pool.evict_table(table)

@@ -13,6 +13,7 @@ Read-PDTs and private Write-PDT snapshot copies.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 from ..core.pdt import PDT
@@ -21,6 +22,7 @@ from ..core.serialize import serialize
 from ..core.types import TransactionConflict
 from ..storage.sparse_index import SparseIndex
 from ..storage.table import StableTable
+from .pins import PinnedLayout, PinnedTable, SnapshotPin
 from .transaction import Transaction, TransactionError, TxnStatus
 from .wal import WriteAheadLog
 
@@ -77,6 +79,12 @@ class TransactionManager:
         self.sparse_granularity = sparse_granularity
         self.stats = ManagerStats()
         self._commit_listeners: list = []
+        self._next_pin_id = 1
+        self._pins: dict[int, SnapshotPin] = {}
+        self._pin_counts: dict[str, int] = {}  # physical table -> live pins
+        # Pins are released from whatever thread finishes a cursor, while
+        # new pins and is_pinned checks run on writer/maintenance threads.
+        self._pin_lock = threading.Lock()
 
     def add_commit_listener(self, listener) -> None:
         """Register ``listener(tables)`` to run after each successful commit
@@ -150,6 +158,74 @@ class TransactionManager:
         self._snapshot_cache[table] = (state.last_commit_lsn, snapshot)
         self.stats.snapshot_copies += 1
         return snapshot
+
+    # -- snapshot pins -----------------------------------------------------------
+
+    def pin_snapshot(self) -> SnapshotPin:
+        """Pin the current commit point of *every* table (see
+        :mod:`repro.txn.pins`).
+
+        Requires no quiescence: the pin captures committed state only
+        (running transactions' Trans-PDTs are invisible to it). Write-PDT
+        copies come from the same snapshot cache transaction starts use,
+        so pins and transactions under one commit LSN share them. While
+        the pin is live, maintenance on its tables is deferred or runs
+        copy-on-write; release pins promptly.
+        """
+        tables = {
+            name: PinnedTable(
+                name=name,
+                stable=state.stable,
+                read_pdt=state.read_pdt,
+                write_pdt=self.write_snapshot(name, self._lsn),
+                sparse_index=state.sparse_index,
+                lsn=state.last_commit_lsn,
+            )
+            for name, state in self._tables.items()
+        }
+        layouts = {
+            logical: PinnedLayout(
+                boundaries=tuple(tuple(b) for b in sharded.router.boundaries),
+                shard_names=tuple(sharded.shard_names),
+            )
+            for logical, sharded in self.sharded_tables.items()
+        }
+        with self._pin_lock:
+            pin = SnapshotPin(
+                manager=self, pin_id=self._next_pin_id, tables=tables,
+                layouts=layouts, lsn=self._lsn,
+            )
+            self._next_pin_id += 1
+            self._pins[pin.pin_id] = pin
+            for name in tables:
+                self._pin_counts[name] = self._pin_counts.get(name, 0) + 1
+        return pin
+
+    def release_pin(self, pin: SnapshotPin) -> None:
+        """Drop a pin's references; deferred maintenance becomes eligible
+        again once the last pin covering a table drains. (Called via
+        :meth:`SnapshotPin.release`, which makes it idempotent; safe from
+        any thread — cursors release pins from their consumers.)"""
+        with self._pin_lock:
+            if self._pins.pop(pin.pin_id, None) is None:
+                return
+            for name in pin.tables:
+                left = self._pin_counts.get(name, 0) - 1
+                if left > 0:
+                    self._pin_counts[name] = left
+                else:
+                    self._pin_counts.pop(name, None)
+
+    def is_pinned(self, table: str) -> bool:
+        """True while any live pin captured ``table``'s current version."""
+        with self._pin_lock:
+            return table in self._pin_counts
+
+    def pin_count(self, table: str | None = None) -> int:
+        with self._pin_lock:
+            if table is None:
+                return len(self._pins)
+            return self._pin_counts.get(table, 0)
 
     # -- transaction lifecycle ------------------------------------------------------
 
@@ -261,6 +337,11 @@ class TransactionManager:
         state = self.state_of(table)
         if state.write_pdt.is_empty():
             return
+        if self.is_pinned(table):
+            # A live pin references this Read-PDT (and holds a copy of the
+            # Write-PDT about to fold into it): migrate into a fresh copy
+            # so the pinned stack keeps describing the pinned version.
+            state.read_pdt = state.read_pdt.copy()
         propagate_batch(state.read_pdt, state.write_pdt)
         state.write_pdt = PDT(state.schema)
         self._snapshot_cache.pop(table, None)

@@ -1,0 +1,141 @@
+"""Database-wide snapshot pins: one commit point across every shard.
+
+A cross-shard read through ``Database.query`` captures each shard's
+latest-committed layer stack independently — correct per shard, but two
+shards can be captured on either side of a commit, so a concurrent writer
+can tear a logical table's image across shards. A :class:`SnapshotPin`
+fixes the whole database at one commit point instead: for every physical
+table it captures the stable image, the Read-PDT (by reference), a
+Write-PDT *copy* (through the same snapshot-cache machinery transactions
+use, so pins taken under one commit LSN share the copy), the stale sparse
+index, and the table's last-commit LSN — together a per-table/per-shard
+LSN vector naming exactly one version of the database. For sharded
+logical tables the shard layout (boundaries + shard names) is captured
+too, so a pinned reader keeps routing against the layout it pinned even
+while the rebalancer restructures the live table.
+
+Pinned state stays valid because every mutation of committed layers is
+either *by replacement* (commit folds into the Write-PDT, which pins hold
+copies of; checkpoints install fresh stable/PDT objects) or made
+pin-aware:
+
+* ``propagate_write_to_read`` copies-on-write the Read-PDT while the
+  table is pinned, so the pinned reference never absorbs the Write-PDT a
+  pin already holds a copy of (the checkpoint scheduler additionally
+  *defers* folds on pinned tables until pins drain);
+* checkpoints detach the outgoing stable image from block storage before
+  dropping its blocks, so pinned readers fall back to the retained
+  in-memory image;
+* the shard rebalancer defers retired shards' block drops until the pins
+  that captured them drain (shard names are never reused, so old and new
+  images coexist in the block store).
+
+Pins are cheap (one Write-PDT copy per non-clean table, usually shared),
+require no quiescence, and are the unit of consistency the async query
+service hands every streaming cursor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class PinnedTable:
+    """One physical table's captured version: the scan inputs at pin time.
+
+    ``write_pdt`` is ``None`` when the Write-PDT was empty at the pin
+    point (the common case between maintenance cycles); ``layers`` yields
+    the non-empty PDT stack in merge order.
+    """
+
+    name: str
+    stable: object
+    read_pdt: object
+    write_pdt: object  # copy, or None when empty at pin time
+    sparse_index: object
+    lsn: int
+
+    @property
+    def layers(self) -> tuple:
+        if self.write_pdt is None:
+            return (self.read_pdt,)
+        return (self.read_pdt, self.write_pdt)
+
+
+@dataclass(frozen=True)
+class PinnedLayout:
+    """A sharded logical table's layout at pin time."""
+
+    boundaries: tuple
+    shard_names: tuple
+
+
+@dataclass
+class SnapshotPin:
+    """A released-once handle on one database-wide commit point.
+
+    Obtained from :meth:`TransactionManager.pin_snapshot` (usually via
+    ``Database.pin_snapshot()`` or ``QueryService.pin()``). Usable as a
+    context manager; releasing is idempotent. While any pin covering a
+    table is live, maintenance on that table is deferred or runs
+    copy-on-write, so the captured objects keep describing the pinned
+    version.
+    """
+
+    manager: object
+    pin_id: int
+    tables: dict  # physical name -> PinnedTable
+    layouts: dict = field(default_factory=dict)  # logical -> PinnedLayout
+    lsn: int = 0
+    released: bool = False
+
+    def table(self, name: str) -> PinnedTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError(
+                f"table {name!r} is not covered by this pin "
+                f"(created after the pin was taken?)"
+            ) from None
+
+    def layout(self, logical: str) -> PinnedLayout:
+        try:
+            return self.layouts[logical]
+        except KeyError:
+            raise KeyError(
+                f"no sharded table {logical!r} in this pin"
+            ) from None
+
+    def is_sharded(self, name: str) -> bool:
+        return name in self.layouts
+
+    def physical_names(self, table: str) -> list[str]:
+        """Physical tables backing ``table`` at pin time, in key order."""
+        if table in self.layouts:
+            return list(self.layouts[table].shard_names)
+        # Raise the pin's KeyError for unknown names.
+        return [self.table(table).name]
+
+    def lsn_vector(self) -> dict[str, int]:
+        """Per-physical-table last-commit LSNs — the version this pin
+        names. Every cross-shard read under the pin sees exactly these."""
+        return {name: pt.lsn for name, pt in self.tables.items()}
+
+    def release(self) -> None:
+        if not self.released:
+            self.released = True
+            self.manager.release_pin(self)
+
+    def __enter__(self) -> "SnapshotPin":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "released" if self.released else "live"
+        return (
+            f"SnapshotPin(id={self.pin_id}, lsn={self.lsn}, "
+            f"tables={len(self.tables)}, {state})"
+        )

@@ -381,7 +381,11 @@ class CheckpointScheduler:
         self._try_execute(table, decision)
 
     def _try_execute(self, table: str, decision: Decision) -> bool:
-        if self.manager.running_count():
+        if self.manager.running_count() or self.manager.is_pinned(table):
+            # Running transactions hold snapshots; snapshot pins hold the
+            # current stable image and Read-PDT. Either way a fold now
+            # would rewrite state a live reader depends on — defer until
+            # the next quiescent, pin-free point.
             self.stats.deferrals += 1
             self._pending[table] = decision
             return False
