@@ -82,7 +82,10 @@ def test_block_pipelined(benchmark, cases, rate, batch_rows):
     assert rows == wl.table.num_rows + pdt.total_delta()
     ms = benchmark.stats["mean"] * 1000
     _report.add(rate, f"block[{batch_rows}]", ms)
-    _times[(rate, batch_rows)] = ms
+    # The speedup series (and the CI regression gate on it) uses the best
+    # round: the min is what the code can do, the mean also measures the
+    # runner's noise.
+    _times[(rate, batch_rows)] = benchmark.stats["min"] * 1000
 
 
 @pytest.mark.parametrize("rate", RATES)
@@ -100,7 +103,7 @@ def test_tuple_at_a_time(benchmark, cases, rate):
     assert rows == wl.table.num_rows + pdt.total_delta()
     ms = benchmark.stats["mean"] * 1000
     _report.add(rate, "tuple", ms)
-    _times[(rate, "tuple")] = ms
+    _times[(rate, "tuple")] = benchmark.stats["min"] * 1000
 
 
 def test_acceptance_speedup(cases):

@@ -1,0 +1,352 @@
+#!/usr/bin/env python
+"""Crash matrix: kill a durable database at every interesting boundary,
+reopen, and verify byte-identity against a pre-crash oracle.
+
+For each crash point the parent spawns a child process that runs a
+deterministic workload — commits, full checkpoints, a sharded table with
+per-shard checkpoints, an incremental range checkpoint, and a shard
+split — against the mmap storage backend, and dies with ``os._exit``
+exactly at the chosen boundary:
+
+* ``commit:<k>``        — right after the k-th committed batch
+* ``ckpt-pre-publish``  — inside a checkpoint, after the new image's
+                          blocks were appended but *before* the catalog
+                          publish (the old image must recover)
+* ``ckpt-post-publish`` — after the catalog publish but *before* the WAL
+                          rebase (image-aware replay must skip the folded
+                          history)
+* ``shard-ckpt-mid``    — between two shards' checkpoints of one sharded
+                          table
+* ``range-pre-publish`` / ``range-post-publish`` — the same two windows
+                          around an incremental range checkpoint (whose
+                          surviving deltas ride a tagged snapshot record)
+* ``split-pre-wal``     — mid shard-split, new shards installed but the
+                          WAL layout rewrite never landed
+* ``split-post-wal``    — layout committed but the retired shard's files
+                          never dropped
+* ``abandon``           — after the whole workload, no clean close
+
+The child appends the full logical row image of every table to an
+``oracle.json`` (written atomically, fsynced) after each commit; since
+commits are WAL-fsynced, the last published oracle is exactly the state
+the reopened database must serve — checkpoints, splits, and the crash
+windows inside them never change logical contents. The parent runs
+``Database.recover(root)`` and compares row-for-row, then verifies the
+recovered database still accepts writes.
+
+Usage::
+
+    python scripts/crash_matrix.py                 # full matrix
+    python scripts/crash_matrix.py --points commit:2,ckpt-pre-publish
+    python scripts/crash_matrix.py --rows 600      # bigger workload
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+CRASH_EXIT = 77
+
+MAINTENANCE_POINTS = [
+    "ckpt-pre-publish",
+    "ckpt-post-publish",
+    "shard-ckpt-mid",
+    "range-pre-publish",
+    "range-post-publish",
+    "split-pre-wal",
+    "split-post-wal",
+]
+
+
+def default_points(n_commits: int) -> list[str]:
+    return [f"commit:{k}" for k in range(1, n_commits + 1)] \
+        + MAINTENANCE_POINTS + ["abandon"]
+
+
+# ---------------------------------------------------------------------------
+# child: run the workload, die at the chosen point
+
+
+class _Crasher:
+    """Arms os._exit at named maintenance-internal boundaries."""
+
+    def __init__(self, point: str):
+        self.point = point
+        self.armed: str | None = None
+
+    def arm(self, name: str) -> None:
+        self.armed = name
+
+    def disarm(self) -> None:
+        self.armed = None
+
+    def maybe_die(self, name: str) -> None:
+        if self.point == name and self.armed == name:
+            os._exit(CRASH_EXIT)
+
+
+def _install_hooks(crasher: _Crasher) -> None:
+    import repro.txn.checkpoint as ckpt_mod
+    from repro.shard.sharded import ShardedTable
+    from repro.storage.blocks import BlockStore
+    from repro.txn.wal import WriteAheadLog
+
+    orig_sync = BlockStore.sync
+
+    def sync(self):
+        # pre-publish points die *instead of* publishing the catalog.
+        crasher.maybe_die("ckpt-pre-publish")
+        crasher.maybe_die("range-pre-publish")
+        orig_sync(self)
+
+    BlockStore.sync = sync
+
+    orig_rebase = WriteAheadLog.rebase_table
+
+    def rebase_table(self, table, snapshot_pdt=None, lsn=0,
+                     for_image_lsn=None):
+        # post-publish points die after the catalog landed, before the
+        # WAL drops the folded history.
+        crasher.maybe_die("ckpt-post-publish")
+        crasher.maybe_die("range-post-publish")
+        orig_rebase(self, table, snapshot_pdt=snapshot_pdt, lsn=lsn,
+                    for_image_lsn=for_image_lsn)
+
+    WriteAheadLog.rebase_table = rebase_table
+
+    orig_ckpt = ckpt_mod.checkpoint_table
+    state = {"calls": 0}
+
+    def checkpoint_table(manager, table):
+        if crasher.armed == "shard-ckpt-mid":
+            state["calls"] += 1
+            if state["calls"] == 2:
+                crasher.maybe_die("shard-ckpt-mid")
+        return orig_ckpt(manager, table)
+
+    ckpt_mod.checkpoint_table = checkpoint_table
+
+    orig_rewrite = WriteAheadLog._rewrite_file
+
+    def _rewrite_file(self):
+        # the commit write of a deferred (atomic) multi-step rewrite —
+        # the shard split's layout commit point.
+        if not self._defer_rewrites:
+            crasher.maybe_die("split-pre-wal")
+        orig_rewrite(self)
+
+    WriteAheadLog._rewrite_file = _rewrite_file
+
+    orig_drop = ShardedTable._drop_shard_storage
+
+    def _drop_shard_storage(self, shard_name, pool):
+        crasher.maybe_die("split-post-wal")
+        orig_drop(self, shard_name, pool)
+
+    ShardedTable._drop_shard_storage = _drop_shard_storage
+
+
+def _rows(db, table, sort=False):
+    """Logical rows as plain-Python lists (numpy scalars unwrapped) so
+    JSON round-trips compare exactly."""
+    out = [
+        [v.item() if hasattr(v, "item") else v for v in row]
+        for row in db.image_rows(table)
+    ]
+    return sorted(out) if sort else out
+
+
+def _dump_oracle(root: str, db) -> None:
+    """Atomically publish the expected logical contents of every table."""
+    oracle = {
+        "inv": _rows(db, "inv"),
+        "orders": _rows(db, "orders", sort=True),
+    }
+    path = os.path.join(root, "oracle.json")
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(oracle, fh)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def run_child(root: str, point: str, rows: int) -> None:
+    from repro import Database, DataType, Schema
+    from repro.shard.rebalance import split_shard
+    from repro.txn.checkpoint import checkpoint_table_range
+
+    crasher = _Crasher(point)
+    _install_hooks(crasher)
+
+    schema = Schema.build(
+        ("k", DataType.INT64), ("v", DataType.INT64),
+        ("tag", DataType.STRING), sort_key=("k",),
+    )
+    db = Database(storage="mmap", storage_path=root, block_rows=64)
+    db.create_table(
+        "inv", schema, [(i, i * 10, f"r{i % 7}") for i in range(rows)]
+    )
+    db.create_sharded_table(
+        "orders", schema,
+        [(i, i, f"o{i % 5}") for i in range(rows * 2)], shards=3,
+    )
+    _dump_oracle(root, db)
+
+    commit_no = 0
+
+    def commit(table, ops):
+        nonlocal commit_no
+        db.apply_batch(table, ops)
+        commit_no += 1
+        _dump_oracle(root, db)
+        if point == f"commit:{commit_no}":
+            os._exit(CRASH_EXIT)
+
+    base = rows * 10
+    commit("inv", [("ins", (base + 1, 1, "new")), ("del", (3,)),
+                   ("mod", (7,), "v", 777)])
+    commit("orders", [("ins", (base + 2, 2, "new")), ("del", (10,)),
+                      ("mod", (20,), "v", 555)])
+    commit("inv", [("ins", (base + 3, 3, "x")), ("mod", (11,), "tag", "hot")])
+
+    if point in ("ckpt-pre-publish", "ckpt-post-publish"):
+        crasher.arm(point)
+    db.checkpoint("inv")
+    crasher.disarm()
+
+    commit("orders", [("del", (30,)), ("ins", (base + 4, 4, "y"))])
+
+    if point == "shard-ckpt-mid":
+        crasher.arm(point)
+    db.checkpoint("orders")
+    crasher.disarm()
+
+    commit("inv", [("mod", (15,), "v", 1), ("mod", (int(rows * 0.9),),
+                                            "v", 2)])
+
+    # Incremental range checkpoint: folds the first half, re-logs the
+    # surviving second-half deltas as a tagged snapshot.
+    db.manager.propagate_write_to_read("inv")
+    if point in ("range-pre-publish", "range-post-publish"):
+        crasher.arm(point)
+    checkpoint_table_range(db.manager, "inv", 0, rows // 2)
+    crasher.disarm()
+
+    commit("orders", [("ins", (base + 5, 5, "z")), ("mod", (40,), "v", 9)])
+
+    if point in ("split-pre-wal", "split-post-wal"):
+        crasher.arm(point)
+    split_shard(db.sharded("orders"), 0)
+    crasher.disarm()
+
+    commit("inv", [("ins", (base + 6, 6, "tail")), ("del", (21,))])
+
+    if point == "abandon":
+        os._exit(CRASH_EXIT)
+    db.close()
+    os._exit(0)
+
+
+# ---------------------------------------------------------------------------
+# parent: spawn, recover, verify
+
+
+def verify_recovery(root: str, point: str) -> None:
+    from repro import Database
+
+    with open(os.path.join(root, "oracle.json"), encoding="utf-8") as fh:
+        oracle = json.load(fh)
+    db = Database.recover(root)
+    try:
+        got_inv = _rows(db, "inv")
+        got_orders = _rows(db, "orders", sort=True)
+        if got_inv != oracle["inv"]:
+            raise AssertionError(
+                f"[{point}] inv mismatch: {len(got_inv)} rows recovered "
+                f"vs {len(oracle['inv'])} expected"
+            )
+        if got_orders != oracle["orders"]:
+            raise AssertionError(
+                f"[{point}] orders mismatch: {len(got_orders)} rows "
+                f"recovered vs {len(oracle['orders'])} expected"
+            )
+        # Query results (not just image_rows) must match too.
+        q = sorted(tuple(r) for r in
+                   db.query("inv", columns=["k", "v", "tag"]).rows())
+        if q != sorted(tuple(r) for r in oracle["inv"]):
+            raise AssertionError(f"[{point}] inv query mismatch")
+        # The recovered database keeps working.
+        db.apply_batch("inv", [("ins", (10 ** 7, 1, "post-recovery"))])
+        assert db.query("inv", sk=(10 ** 7,)).num_rows == 1
+    finally:
+        db.close()
+
+
+def run_matrix(points: list[str], rows: int, keep: bool = False) -> int:
+    base = tempfile.mkdtemp(prefix="crash-matrix-")
+    failures = 0
+    for point in points:
+        root = os.path.join(base, point.replace(":", "_"))
+        child = subprocess.run(
+            [sys.executable, os.path.abspath(__file__),
+             "--child", root, point, "--rows", str(rows)],
+            env={**os.environ,
+                 "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+            capture_output=True, text=True, timeout=120,
+        )
+        expected = 0 if point == "clean" else CRASH_EXIT
+        if child.returncode != expected:
+            print(f"FAIL [{point}]: child exited {child.returncode}, "
+                  f"expected {expected}\n{child.stderr[-2000:]}")
+            failures += 1
+            continue
+        try:
+            verify_recovery(root, point)
+            print(f"ok   [{point}]")
+        except Exception as exc:  # noqa: BLE001 - report and count
+            print(f"FAIL [{point}]: {exc}")
+            failures += 1
+        if not keep:
+            shutil.rmtree(root, ignore_errors=True)
+    if not keep:
+        shutil.rmtree(base, ignore_errors=True)
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--child", nargs=2, metavar=("ROOT", "POINT"),
+                        help="internal: run the workload and die at POINT")
+    parser.add_argument("--points", default=None,
+                        help="comma-separated crash points (default: all)")
+    parser.add_argument("--rows", type=int, default=300)
+    parser.add_argument("--keep", action="store_true",
+                        help="keep the crash directories for inspection")
+    args = parser.parse_args(argv)
+
+    if args.child:
+        run_child(args.child[0], args.child[1], args.rows)
+        return 0  # unreachable: run_child always _exits
+
+    points = (args.points.split(",") if args.points
+              else default_points(n_commits=6))
+    failures = run_matrix(points, args.rows, keep=args.keep)
+    if failures:
+        print(f"\n{failures} crash point(s) failed")
+        return 1
+    print(f"\nall {len(points)} crash points recovered byte-identically")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -43,9 +43,15 @@ from .storage import (
     BufferPool,
     DataType,
     IOStats,
+    MemoryBackend,
+    MemoryStorage,
+    MmapFileBackend,
+    MmapStorage,
     Schema,
     SparseIndex,
     StableTable,
+    StorageBackend,
+    StorageFactory,
 )
 from .txn import (
     SnapshotPin,
@@ -65,6 +71,10 @@ __all__ = [
     "DataType",
     "FlatPDT",
     "IOStats",
+    "MemoryBackend",
+    "MemoryStorage",
+    "MmapFileBackend",
+    "MmapStorage",
     "PDT",
     "QueryService",
     "Relation",
@@ -76,6 +86,8 @@ __all__ = [
     "SnapshotPin",
     "SparseIndex",
     "StableTable",
+    "StorageBackend",
+    "StorageFactory",
     "StreamingCursor",
     "Transaction",
     "TransactionConflict",

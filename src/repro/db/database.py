@@ -27,6 +27,7 @@ import numpy as np
 
 from ..engine.relation import Relation
 from ..engine.scan import ScanTimer, scan_pdt
+from ..storage.backend import MAIN_SCOPE, resolve_storage
 from ..storage.blocks import BlockStore, DEFAULT_BLOCK_ROWS
 from ..storage.buffer import BufferPool
 from ..storage.io_stats import IOStats
@@ -54,8 +55,21 @@ class Database:
         Buffer-pool budget in bytes (``None`` = unbounded).
     ``sparse_granularity``
         Rows per sparse-index entry on each stable image.
+    ``storage``
+        Where column blocks physically live: a
+        :class:`~repro.storage.backend.StorageFactory`, ``"memory"``
+        (default — the simulated disk), ``"mmap"`` (real per-table
+        segment files under ``storage_path``, or an ephemeral temp dir
+        when no path is given), or ``"mmap:<path>"``. ``None`` consults
+        ``REPRO_STORAGE_BACKEND``. Opening a persistent root that
+        already holds data *recovers* it: tables are rebuilt from the
+        published catalogs and the WAL is replayed — see
+        :meth:`recover`.
+    ``storage_path``
+        Root directory for ``storage="mmap"``.
     ``wal_path``
-        Optional path for a persistent write-ahead log.
+        Optional path for a persistent write-ahead log (defaults to
+        ``<storage_path>/wal.jsonl`` on persistent storage).
     ``write_pdt_limit_bytes``
         Budget used by the manual :meth:`maintain` convenience.
     ``checkpoint_policy``
@@ -79,14 +93,20 @@ class Database:
         wal_path=None,
         write_pdt_limit_bytes: int = 1 << 20,
         checkpoint_policy=None,
+        storage=None,
+        storage_path=None,
     ):
         self.io = IOStats()
-        self.store = BlockStore(compressed=compressed, block_rows=block_rows)
+        self.storage = resolve_storage(storage, storage_path)
+        self.store = BlockStore(compressed=compressed, block_rows=block_rows,
+                                backend=self.storage.open(MAIN_SCOPE))
         self.buffer_capacity = buffer_capacity
         self.pool = BufferPool(self.store, self.io,
                                capacity_bytes=buffer_capacity)
+        if wal_path is None:
+            wal_path = self.storage.wal_path()
         self.manager = TransactionManager(
-            wal=WriteAheadLog(wal_path),
+            wal=WriteAheadLog(wal_path, fsync=self.storage.fsync),
             sparse_granularity=sparse_granularity,
         )
         # Shared with the manager: transactions route logical sharded
@@ -99,6 +119,35 @@ class Database:
         self.manager.add_commit_listener(self.scheduler.on_commit)
         self._services: list = []  # attached QueryService front-ends
         self._closed = False
+        self.recovered_lsn = 0
+        if self.storage.persistent:
+            from ..txn.recovery import recover_persistent
+
+            self.recovered_lsn = recover_persistent(self)
+
+    @classmethod
+    def recover(cls, storage_path, **kwargs) -> "Database":
+        """Reopen a durable database from its storage root — the
+        kill-and-reopen path. Every table (sharded and unsharded) is
+        rebuilt from the persisted block files and catalogs, and the WAL
+        is replayed image-aware; no images are re-registered by hand::
+
+            db = Database(storage="mmap", storage_path=root)
+            ...                      # commits, checkpoints — then: kill
+            db = Database.recover(root)   # byte-identical query results
+        """
+        return cls(storage="mmap", storage_path=storage_path, **kwargs)
+
+    def open_shard_pool(self, shard_name: str) -> BufferPool:
+        """A private buffer pool over ``shard_name``'s own storage scope
+        (each shard gets its own backend, so shards can live on different
+        media and retiring one deletes real files)."""
+        store = BlockStore(
+            compressed=self.store.compressed,
+            block_rows=self.store.block_rows,
+            backend=self.storage.open(shard_name),
+        )
+        return BufferPool(store, IOStats(), capacity_bytes=self.buffer_capacity)
 
     # -- DDL ---------------------------------------------------------------
 
@@ -106,15 +155,21 @@ class Database:
         """Create and bulk-load an ordered table (sorted by its SK)."""
         self._check_free_name(name)
         stable = StableTable.bulk_load(name, schema, rows)
-        stable.attach_storage(self.pool)
-        self.manager.register_table(stable)
+        self._install_table(stable)
 
     def create_table_from_arrays(self, name: str, schema: Schema,
                                  arrays: dict) -> None:
         """Bulk path for pre-sorted columnar data (dbgen output)."""
         self._check_free_name(name)
         stable = StableTable.from_arrays(name, schema, arrays)
+        self._install_table(stable)
+
+    def _install_table(self, stable: StableTable) -> None:
         stable.attach_storage(self.pool)
+        # Publish the loaded image now: on a durable backend the table
+        # survives a kill from this point on (before any commit).
+        self.store.set_image_lsn(stable.name, self.manager._lsn)
+        self.store.sync()
         self.manager.register_table(stable)
 
     def _check_free_name(self, name: str) -> None:
@@ -564,6 +619,9 @@ class Database:
             service.close()
         for sharded in self._sharded.values():
             sharded.close()
+        # Clean shutdown is a durability point: publish every backend's
+        # catalog before releasing file handles.
+        self.storage.close()
 
     def __enter__(self) -> "Database":
         return self

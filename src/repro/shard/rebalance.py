@@ -138,7 +138,12 @@ def _swap_in(sharded, retired: list[str], installed: list[tuple],
         sharded.install_shard(stable, read_pdt=read_pdt)
     sharded.shard_names[at:at + n_replaced] = [n for n, _, _ in installed]
     # One atomic log rewrite: dropping retired history, re-logging the
-    # survivor snapshots, and the new layout must hit disk together.
+    # survivor snapshots, and the new layout must hit disk together. The
+    # new shard images were published by install_shard *before* this
+    # commit point, and the retired shards' physical storage is dropped
+    # only *after* it (drain_retired below) — so a kill on either side
+    # recovers a complete layout: old shards + old log, or new shards +
+    # new log (orphaned scopes are swept at reopen).
     with db.manager.wal.atomic():
         for name in retired:
             sharded.retire_shard(name)
@@ -148,6 +153,7 @@ def _swap_in(sharded, retired: list[str], installed: list[tuple],
                 db.manager.wal.rebase_table(name, read_pdt,
                                             lsn=db.manager._lsn)
         sharded.log_layout()
+    sharded.drain_retired()
 
 
 def split_shard(sharded, index: int) -> bool:

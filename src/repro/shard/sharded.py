@@ -32,7 +32,6 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from ..engine.scan import fanout_scan_blocks, scan_pdt_blocks
-from ..storage.buffer import BufferPool
 from ..storage.column import Column
 from ..storage.io_stats import IOStats
 from ..storage.schema import Schema, SchemaError
@@ -156,12 +155,21 @@ class ShardedTable:
         return name
 
     def install_shard(self, stable: StableTable, read_pdt=None):
-        """Register a shard's stable image with its own buffer pool and
-        (optionally) a pre-built Read-PDT (rebalance survivors)."""
+        """Register a shard's stable image on its *own* storage backend
+        (scope = the shard's physical name) with a private buffer pool
+        and (optionally) a pre-built Read-PDT (rebalance survivors).
+
+        The shard's blocks are published (synced) before this returns:
+        on durable storage a freshly installed shard survives a kill —
+        whether its layout record does is decided by the WAL rewrite the
+        caller commits afterwards, and an unreferenced scope is swept at
+        the next reopen.
+        """
         db = self.db
-        pool = BufferPool(db.store, IOStats(),
-                          capacity_bytes=db.buffer_capacity)
+        pool = db.open_shard_pool(stable.name)
         stable.attach_storage(pool)
+        pool.store.set_image_lsn(stable.name, db.manager._lsn)
+        pool.store.sync()
         state = db.manager.register_table(stable)
         if read_pdt is not None and not read_pdt.is_empty():
             state.read_pdt = read_pdt
@@ -169,20 +177,21 @@ class ShardedTable:
         return state
 
     def retire_shard(self, shard_name: str) -> None:
-        """Unregister a shard a rebalance replaced and drop its blocks.
+        """Unregister a shard a rebalance replaced and queue its storage
+        drop.
 
-        While a snapshot pin still references the shard, the block drop is
-        deferred (shard names are never reused, so the retired image and
-        its replacements coexist in the block store) and happens in
-        :meth:`drain_retired` once the pins drain — pinned readers keep
-        scanning the exact stable image they captured.
+        The physical drop is always deferred to :meth:`drain_retired`:
+        the rebalance must first commit the new layout's WAL rewrite —
+        deleting files while the on-disk log still routes to the retired
+        shard would lose data on a crash — and while a snapshot pin still
+        references the shard the drop waits further, until the pins drain
+        (shard names are never reused, so the retired image and its
+        replacements coexist); pinned readers keep scanning the exact
+        stable image they captured.
         """
         state = self.db.manager.unregister_table(shard_name)
         self.db.scheduler.forget(shard_name)
-        if self.db.manager.is_pinned(shard_name):
-            self._retired_pending.append((shard_name, state.stable.pool))
-        else:
-            self._drop_shard_storage(shard_name, state.stable.pool)
+        self._retired_pending.append((shard_name, state.stable.pool))
 
     def _drop_shard_storage(self, shard_name: str, pool) -> None:
         if pool is not None:
@@ -190,10 +199,16 @@ class ShardedTable:
             pool.clear()
             with self._io_lock:
                 self._io_marks.pop(pool, None)
+            pool.store.close()
+        # Retire the shard's whole storage scope: on file-backed storage
+        # this deletes the shard's real segment and catalog files.
+        self.db.storage.discard(shard_name)
 
     def drain_retired(self) -> int:
-        """Drop storage of retired shards whose last pin has drained;
-        returns how many are still alive (waiting on pins)."""
+        """Drop storage of retired shards whose last pin has drained
+        (called right after a rebalance commits its layout, and again at
+        every later maintenance point); returns how many are still alive
+        (waiting on pins)."""
         still_pinned = []
         for shard_name, pool in self._retired_pending:
             if self.db.manager.is_pinned(shard_name):
@@ -240,9 +255,7 @@ class ShardedTable:
         for shard in shard_names:
             state = db.manager.state_of(shard)
             if state.stable.pool is None or state.stable.pool is db.pool:
-                pool = BufferPool(db.store, IOStats(),
-                                  capacity_bytes=db.buffer_capacity)
-                state.stable.attach_storage(pool)
+                state.stable.attach_storage(db.open_shard_pool(shard))
         return sharded
 
     # -- introspection ----------------------------------------------------

@@ -5,11 +5,20 @@ compressed columnar tables with buffer-pool-mediated access and sparse
 (zone-map) indexing. Everything the PDT layer sits on top of.
 """
 
+from .backend import (
+    ColumnMeta,
+    MemoryBackend,
+    MemoryStorage,
+    StorageBackend,
+    StorageFactory,
+    resolve_storage,
+)
 from .blocks import BlockKey, BlockStore, DEFAULT_BLOCK_ROWS
 from .btree import BPlusTree
 from .buffer import BufferPool
 from .column import Column
 from .io_stats import IOSnapshot, IOStats
+from .mmap_backend import MmapFileBackend, MmapStorage
 from .schema import ColumnSpec, DataType, Schema, SchemaError
 from .sparse_index import SidRange, SparseIndex
 from .table import StableTable
@@ -17,6 +26,14 @@ from .table import StableTable
 __all__ = [
     "BlockKey",
     "BlockStore",
+    "ColumnMeta",
+    "MemoryBackend",
+    "MemoryStorage",
+    "MmapFileBackend",
+    "MmapStorage",
+    "StorageBackend",
+    "StorageFactory",
+    "resolve_storage",
     "BPlusTree",
     "BufferPool",
     "Column",

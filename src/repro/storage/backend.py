@@ -1,0 +1,382 @@
+"""Pluggable storage backends: where encoded column blocks actually live.
+
+:class:`~repro.storage.blocks.BlockStore` owns the block *layout* (row
+ranges, codecs, addressing arithmetic); a :class:`StorageBackend` owns the
+block *bytes* and the small catalog describing them — per-column dtype and
+per-block ``(size, rows)`` metadata, per-table schema/`image_lsn` metadata
+used by durable recovery, and a store-level config record
+(``block_rows``/``compressed``) so a persisted store can be reopened with
+the layout it was written with.
+
+Two implementations ship:
+
+* :class:`MemoryBackend` — a dict of blobs, byte-compatible with the
+  pre-backend ``BlockStore`` (the simulated disk of the paper benchmarks).
+* :class:`~repro.storage.mmap_backend.MmapFileBackend` — per-table
+  segment files read through ``mmap`` with an atomically-published JSON
+  catalog; ``sync()`` is a real durability point (fsync segments, then
+  rename the catalog). See that module for the crash protocol.
+
+Backends are handed out by a :class:`StorageFactory`, keyed by *scope*:
+the database's main tables share scope ``""`` while every shard of a
+range-sharded table gets its own scope (and therefore its own backend),
+so shards can live on different media and retiring a shard deletes real
+files. A custom factory may route different scopes to different backend
+kinds (e.g. hot shards on memory, cold shards on mmap files).
+
+Row-count tracking is part of the backend contract: ``column_rows`` is
+derived from the per-block ``rows`` metadata recorded by every
+``put_block``, never pinned at ``store_column`` time — a per-block
+overwrite that changes the tail block's length changes the column's row
+count with it (see ``tests/storage/test_backend_contract.py``).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import tempfile
+from dataclasses import dataclass, field
+
+from .schema import DataType
+
+
+@dataclass
+class ColumnMeta:
+    """Catalog record of one stored column: dtype + per-block metadata."""
+
+    dtype: DataType
+    # One (stored_size, rows) pair per block, in block order.
+    blocks: list[tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        return sum(rows for _, rows in self.blocks)
+
+    @property
+    def stored_bytes(self) -> int:
+        return sum(size for size, _ in self.blocks)
+
+    def to_json(self) -> dict:
+        return {
+            "dtype": self.dtype.value,
+            "blocks": [[size, rows] for size, rows in self.blocks],
+        }
+
+    @classmethod
+    def from_json(cls, raw: dict) -> "ColumnMeta":
+        return cls(
+            dtype=DataType(raw["dtype"]),
+            blocks=[(int(s), int(r)) for s, r in raw["blocks"]],
+        )
+
+
+class StorageBackend(abc.ABC):
+    """Contract between the block layout layer and physical storage.
+
+    Implementations must keep the catalog (column metadata, table
+    metadata, store config) and the block bytes consistent with each
+    other *as seen through this interface*; durable backends may defer
+    publishing both to ``sync()``, which is their atomic commit point.
+    """
+
+    # -- blocks -----------------------------------------------------------
+
+    @abc.abstractmethod
+    def begin_column(self, table: str, column: str, dtype: DataType) -> None:
+        """(Re)create a column: register its dtype and drop any existing
+        blocks. A full-column store always starts here; per-block
+        overwrites (``put_block`` on an existing index) do not."""
+
+    @abc.abstractmethod
+    def put_block(self, table: str, column: str, block: int, blob: bytes,
+                  rows: int) -> None:
+        """Store one encoded block and record its ``(size, rows)`` in the
+        column's catalog entry. ``block`` may overwrite an existing index
+        or append at ``n_blocks``."""
+
+    @abc.abstractmethod
+    def get_block(self, table: str, column: str, block: int) -> bytes:
+        """Return one encoded block's bytes (the physical read path)."""
+
+    @abc.abstractmethod
+    def block_size(self, table: str, column: str, block: int) -> int:
+        """Stored size of one block, as recorded by ``put_block``."""
+
+    @abc.abstractmethod
+    def delete_table(self, table: str) -> None:
+        """Drop every column, block, and metadata record of ``table``.
+        Durable backends reclaim the table's files (deferred until the
+        next ``sync`` publishes a catalog that no longer references
+        them)."""
+
+    # -- catalog ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def column_meta(self, table: str, column: str) -> ColumnMeta | None:
+        """The column's catalog record, or None when it does not exist."""
+
+    def column_dtype(self, table: str, column: str) -> DataType:
+        """O(1) dtype lookup — on the physical-read path (every buffer
+        miss), so implementations should override the generic
+        ``column_meta``-based fallback with a direct accessor."""
+        meta = self.column_meta(table, column)
+        if meta is None:
+            raise KeyError(f"unknown column {table}.{column}")
+        return meta.dtype
+
+    def column_rows(self, table: str, column: str) -> int:
+        """Total rows, derived from per-block records; implementations
+        keep it incrementally (O(1)) rather than re-summing."""
+        meta = self.column_meta(table, column)
+        if meta is None:
+            raise KeyError(f"unknown column {table}.{column}")
+        return meta.row_count
+
+    @abc.abstractmethod
+    def columns(self) -> list[tuple[str, str]]:
+        """Every stored ``(table, column)`` pair."""
+
+    @abc.abstractmethod
+    def tables(self) -> list[str]:
+        """Every table with stored columns or table metadata."""
+
+    @abc.abstractmethod
+    def set_table_meta(self, table: str, **meta) -> None:
+        """Merge keys into the table's metadata record (``schema`` dict,
+        ``image_lsn``); recovery reads these back after a reopen."""
+
+    @abc.abstractmethod
+    def get_table_meta(self, table: str) -> dict:
+        """The table's metadata record (empty dict when absent)."""
+
+    @abc.abstractmethod
+    def set_store_meta(self, meta: dict) -> None:
+        """Persist store-level configuration (``block_rows``,
+        ``compressed``) so a reopened store adopts the written layout."""
+
+    @abc.abstractmethod
+    def get_store_meta(self) -> dict:
+        """Store-level configuration (empty dict on a fresh backend)."""
+
+    # -- durability -------------------------------------------------------
+
+    @abc.abstractmethod
+    def sync(self) -> None:
+        """Durability point: after it returns, everything stored so far
+        survives a process kill (no-op for volatile backends)."""
+
+    def close(self) -> None:
+        """Release file handles / maps. Does *not* sync."""
+
+
+class MemoryBackend(StorageBackend):
+    """Volatile dict-of-blobs backend — the paper's simulated disk.
+
+    Byte-compatible with the pre-backend ``BlockStore``: blobs are stored
+    exactly as encoded and ``sync`` is a no-op.
+    """
+
+    def __init__(self):
+        self._blobs: dict[tuple[str, str, int], bytes] = {}
+        self._columns: dict[tuple[str, str], ColumnMeta] = {}
+        self._rows: dict[tuple[str, str], int] = {}  # incremental totals
+        self._table_meta: dict[str, dict] = {}
+        self._store_meta: dict = {}
+
+    def begin_column(self, table: str, column: str, dtype: DataType) -> None:
+        old = self._columns.get((table, column))
+        if old is not None:
+            for b in range(len(old.blocks)):
+                self._blobs.pop((table, column, b), None)
+        self._columns[(table, column)] = ColumnMeta(dtype=dtype)
+        self._rows[(table, column)] = 0
+
+    def put_block(self, table: str, column: str, block: int, blob: bytes,
+                  rows: int) -> None:
+        meta = self._columns.get((table, column))
+        if meta is None:
+            raise KeyError(f"column {table}.{column} not registered")
+        if block > len(meta.blocks):
+            raise IndexError(
+                f"block {block} leaves a gap (column has "
+                f"{len(meta.blocks)} blocks)"
+            )
+        entry = (len(blob), rows)
+        if block == len(meta.blocks):
+            meta.blocks.append(entry)
+            self._rows[(table, column)] += rows
+        else:
+            self._rows[(table, column)] += rows - meta.blocks[block][1]
+            meta.blocks[block] = entry
+        self._blobs[(table, column, block)] = blob
+
+    def get_block(self, table: str, column: str, block: int) -> bytes:
+        return self._blobs[(table, column, block)]
+
+    def block_size(self, table: str, column: str, block: int) -> int:
+        return self._columns[(table, column)].blocks[block][0]
+
+    def delete_table(self, table: str) -> None:
+        for key in [k for k in self._blobs if k[0] == table]:
+            del self._blobs[key]
+        for key in [k for k in self._columns if k[0] == table]:
+            del self._columns[key]
+            self._rows.pop(key, None)
+        self._table_meta.pop(table, None)
+
+    def column_meta(self, table: str, column: str) -> ColumnMeta | None:
+        return self._columns.get((table, column))
+
+    def column_dtype(self, table: str, column: str) -> DataType:
+        try:
+            return self._columns[(table, column)].dtype
+        except KeyError:
+            raise KeyError(f"unknown column {table}.{column}") from None
+
+    def column_rows(self, table: str, column: str) -> int:
+        try:
+            return self._rows[(table, column)]
+        except KeyError:
+            raise KeyError(f"unknown column {table}.{column}") from None
+
+    def columns(self) -> list[tuple[str, str]]:
+        return list(self._columns)
+
+    def tables(self) -> list[str]:
+        names = {t for t, _ in self._columns}
+        names.update(self._table_meta)
+        return sorted(names)
+
+    def set_table_meta(self, table: str, **meta) -> None:
+        self._table_meta.setdefault(table, {}).update(meta)
+
+    def get_table_meta(self, table: str) -> dict:
+        return dict(self._table_meta.get(table, {}))
+
+    def set_store_meta(self, meta: dict) -> None:
+        self._store_meta.update(meta)
+
+    def get_store_meta(self) -> dict:
+        return dict(self._store_meta)
+
+    def sync(self) -> None:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# factories
+
+
+MAIN_SCOPE = ""
+
+
+class StorageFactory(abc.ABC):
+    """Hands out one :class:`StorageBackend` per *scope*.
+
+    Scope ``""`` (:data:`MAIN_SCOPE`) backs the database's unsharded
+    tables; each shard of a range-sharded table opens its shard's
+    physical name as its own scope. ``persistent`` announces whether data
+    written through this factory survives process death (and therefore
+    whether :class:`~repro.db.database.Database` should attempt recovery
+    on open).
+    """
+
+    persistent: bool = False
+    #: Whether sync() calls fsync (durable factories); informational.
+    fsync: bool = False
+
+    @abc.abstractmethod
+    def open(self, scope: str) -> StorageBackend:
+        """The backend for ``scope`` (created on first use, cached)."""
+
+    @abc.abstractmethod
+    def discard(self, scope: str) -> None:
+        """Irrevocably drop a scope's storage (retired shards)."""
+
+    @abc.abstractmethod
+    def scopes(self) -> list[str]:
+        """Scopes with existing storage (recovery's orphan sweep)."""
+
+    def wal_path(self):
+        """Where this factory wants the database's WAL (None: in-memory
+        unless the caller passes an explicit path)."""
+        return None
+
+    def close(self) -> None:
+        """Sync and release every open backend."""
+
+
+class MemoryStorage(StorageFactory):
+    """Default factory: an independent :class:`MemoryBackend` per scope."""
+
+    persistent = False
+    fsync = False
+
+    def __init__(self):
+        self._backends: dict[str, MemoryBackend] = {}
+
+    def open(self, scope: str) -> MemoryBackend:
+        backend = self._backends.get(scope)
+        if backend is None:
+            backend = self._backends[scope] = MemoryBackend()
+        return backend
+
+    def discard(self, scope: str) -> None:
+        self._backends.pop(scope, None)
+
+    def scopes(self) -> list[str]:
+        return list(self._backends)
+
+    def close(self) -> None:
+        self._backends.clear()
+
+
+def ephemeral_mmap_root() -> tempfile.TemporaryDirectory:
+    """A self-cleaning temp root for mmap storage (used when the tier-1
+    suite runs under ``REPRO_STORAGE_BACKEND=mmap`` without an explicit
+    path). Honors ``REPRO_STORAGE_DIR`` so test runs keep their storage
+    under the session tmp dir."""
+    return tempfile.TemporaryDirectory(
+        prefix="repro-mmap-", dir=os.environ.get("REPRO_STORAGE_DIR")
+    )
+
+
+def resolve_storage(storage, storage_path=None) -> StorageFactory:
+    """Resolve the ``Database(storage=...)`` argument to a factory.
+
+    Accepts a :class:`StorageFactory` instance, ``"memory"``, ``"mmap"``
+    (rooted at ``storage_path``, or an ephemeral self-cleaning temp dir
+    when no path is given), or ``"mmap:<path>"``. ``None`` consults the
+    ``REPRO_STORAGE_BACKEND`` environment variable (default
+    ``"memory"``) — this is how CI runs the whole tier-1 suite a second
+    time against the mmap backend without touching any test — unless a
+    ``storage_path`` was given, which implies the mmap backend: a caller
+    naming an on-disk root wants durable storage, and silently building
+    a volatile store instead would lose their data.
+    """
+    if storage is None:
+        storage = "mmap" if storage_path is not None else \
+            os.environ.get("REPRO_STORAGE_BACKEND") or "memory"
+    elif storage == "memory" and storage_path is not None:
+        raise ValueError(
+            "storage='memory' cannot honor storage_path; use "
+            "storage='mmap' (or drop the path)"
+        )
+    if isinstance(storage, StorageFactory):
+        return storage
+    if not isinstance(storage, str):
+        raise TypeError(
+            f"storage must be a StorageFactory or spec string, "
+            f"got {type(storage).__name__}"
+        )
+    if storage == "memory":
+        return MemoryStorage()
+    if storage == "mmap" or storage.startswith("mmap:"):
+        from .mmap_backend import MmapStorage
+
+        path = storage[5:] if storage.startswith("mmap:") else storage_path
+        if path:
+            return MmapStorage(path)
+        return MmapStorage.ephemeral()
+    raise ValueError(f"unknown storage spec {storage!r}")

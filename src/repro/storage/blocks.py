@@ -1,11 +1,22 @@
-"""Block-wise columnar storage over a simulated disk.
+"""Block-wise columnar storage over a pluggable backend.
 
 Each column of a stable table is split into fixed-size row blocks; every
-block is encoded (compressed or plain) to bytes and held by a
-:class:`BlockStore` — our stand-in for the disk. A block is addressed by
-``(table, column, block_index)`` and its row range is derivable from the
-block size, which is exactly the "dense block-wise storage with a sparse
-index with the start RID of each block" organization the paper describes.
+block is encoded (compressed or plain) to bytes and handed to a
+:class:`~repro.storage.backend.StorageBackend` — an in-memory dict
+(:class:`~repro.storage.backend.MemoryBackend`, the default simulated
+disk) or real per-table segment files
+(:class:`~repro.storage.mmap_backend.MmapFileBackend`). A block is
+addressed by ``(table, column, block_index)`` and its row range is
+derivable from the block size, which is exactly the "dense block-wise
+storage with a sparse index with the start RID of each block"
+organization the paper describes.
+
+:class:`BlockStore` owns the layout and codec choices; the backend owns
+the bytes and the catalog (per-block ``(size, rows)`` records, table
+schemas, image LSNs). Row counts are *derived* from the per-block
+records, so a per-block overwrite that changes the tail block's length
+changes ``column_rows`` with it — the backend contract every
+implementation is tested against.
 """
 
 from __future__ import annotations
@@ -15,7 +26,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from . import compression
-from .schema import DataType
+from .backend import MemoryBackend, StorageBackend
+from .schema import DataType, Schema
 
 DEFAULT_BLOCK_ROWS = 4096
 
@@ -30,68 +42,135 @@ class BlockKey:
 
 
 class BlockStore:
-    """Simulated disk: a mapping from block keys to encoded bytes.
+    """Block layout + codecs over a storage backend.
 
     The store records the *stored* size of each block; buffer-pool misses
     are charged at that size, which makes compressed and uncompressed
     configurations produce different I/O volumes, as in the paper's
     server-vs-workstation comparison.
+
+    When the backend carries persisted store metadata (a reopened mmap
+    store), its ``block_rows``/``compressed`` are adopted — a recovered
+    database always reads blocks with the layout they were written in.
     """
 
-    def __init__(self, compressed: bool = True, block_rows: int = DEFAULT_BLOCK_ROWS):
+    def __init__(self, compressed: bool = True,
+                 block_rows: int = DEFAULT_BLOCK_ROWS,
+                 backend: StorageBackend | None = None):
         if block_rows <= 0:
             raise ValueError("block_rows must be positive")
+        self.backend = backend if backend is not None else MemoryBackend()
+        persisted = self.backend.get_store_meta()
+        if persisted:
+            compressed = bool(persisted["compressed"])
+            block_rows = int(persisted["block_rows"])
+        else:
+            self.backend.set_store_meta(
+                {"compressed": compressed, "block_rows": block_rows}
+            )
         self.compressed = compressed
         self.block_rows = block_rows
-        self._blocks: dict[BlockKey, bytes] = {}
-        self._dtypes: dict[tuple[str, str], DataType] = {}
-        self._row_counts: dict[tuple[str, str], int] = {}
 
     # -- writing ---------------------------------------------------------
 
-    def store_column(self, table: str, column: str, dtype: DataType, values) -> int:
+    def _encode(self, chunk: np.ndarray, dtype: DataType) -> bytes:
+        if self.compressed:
+            return compression.encode_best(chunk, dtype)
+        return compression.encode(chunk, dtype, compression.PLAIN)
+
+    def store_column(self, table: str, column: str, dtype: DataType,
+                     values) -> int:
         """Split ``values`` into blocks, encode, and store. Returns #blocks."""
         arr = np.asarray(values, dtype=dtype.numpy_dtype)
-        self._dtypes[(table, column)] = dtype
-        self._row_counts[(table, column)] = len(arr)
+        self.backend.begin_column(table, column, dtype)
         n_blocks = 0
         for start in range(0, max(len(arr), 1), self.block_rows):
-            chunk = arr[start : start + self.block_rows]
-            if self.compressed:
-                blob = compression.encode_best(chunk, dtype)
-            else:
-                blob = compression.encode(chunk, dtype, compression.PLAIN)
-            self._blocks[BlockKey(table, column, n_blocks)] = blob
+            chunk = arr[start: start + self.block_rows]
+            self.backend.put_block(
+                table, column, n_blocks, self._encode(chunk, dtype),
+                rows=len(chunk),
+            )
             n_blocks += 1
         return n_blocks
 
+    def store_block(self, table: str, column: str, block: int,
+                    values) -> None:
+        """Overwrite (or append) a single block of an existing column.
+
+        Only the tail block may hold fewer than ``block_rows`` rows —
+        interior blocks must stay full so positional addressing
+        (``block_range`` arithmetic) remains valid — and appending a new
+        block requires the current tail to be full. The backend's
+        per-block row records keep ``column_rows`` correct through any
+        such overwrite; callers that cached decoded blocks (buffer pools)
+        must evict the overwritten block themselves.
+        """
+        meta = self.backend.column_meta(table, column)
+        if meta is None:
+            raise KeyError(f"unknown column {table}.{column}")
+        n_blocks = len(meta.blocks)
+        arr = np.asarray(values, dtype=meta.dtype.numpy_dtype)
+        if len(arr) > self.block_rows:
+            raise ValueError(
+                f"block holds at most {self.block_rows} rows, got {len(arr)}"
+            )
+        if block < 0 or block > n_blocks:
+            raise IndexError(
+                f"block {block} out of range for {n_blocks}-block column"
+            )
+        if block < n_blocks - 1 and len(arr) != self.block_rows:
+            raise ValueError(
+                f"interior block {block} must hold exactly "
+                f"{self.block_rows} rows, got {len(arr)}"
+            )
+        if block == n_blocks and n_blocks and \
+                meta.blocks[-1][1] != self.block_rows:
+            raise ValueError(
+                "cannot append: current tail block is not full"
+            )
+        self.backend.put_block(
+            table, column, block, self._encode(arr, meta.dtype),
+            rows=len(arr),
+        )
+
     def drop_table(self, table: str) -> None:
-        self._blocks = {k: v for k, v in self._blocks.items() if k.table != table}
-        self._dtypes = {k: v for k, v in self._dtypes.items() if k[0] != table}
-        self._row_counts = {
-            k: v for k, v in self._row_counts.items() if k[0] != table
-        }
+        self.backend.delete_table(table)
 
     # -- reading ---------------------------------------------------------
 
     def read_block(self, key: BlockKey) -> np.ndarray:
         """Decode and return one block (the 'physical read' path)."""
-        blob = self._blocks[key]
-        dtype = self._dtypes[(key.table, key.column)]
+        blob = self.backend.get_block(key.table, key.column, key.block)
+        dtype = self.column_dtype(key.table, key.column)
         return compression.decode(blob, dtype)
 
     def stored_size(self, key: BlockKey) -> int:
-        return len(self._blocks[key])
+        return self.backend.block_size(key.table, key.column, key.block)
 
     def has_column(self, table: str, column: str) -> bool:
-        return (table, column) in self._dtypes
+        return self.backend.column_meta(table, column) is not None
+
+    def column_dtype(self, table: str, column: str) -> DataType:
+        return self.backend.column_dtype(table, column)
 
     def column_rows(self, table: str, column: str) -> int:
-        return self._row_counts[(table, column)]
+        return self.backend.column_rows(table, column)
 
     def column_blocks(self, table: str, column: str) -> int:
-        rows = self._row_counts[(table, column)]
-        return max(1, -(-rows // self.block_rows))
+        meta = self.backend.column_meta(table, column)
+        if meta is None:
+            raise KeyError(f"unknown column {table}.{column}")
+        return max(1, len(meta.blocks))
+
+    def columns(self, table: str | None = None) -> list[tuple[str, str]]:
+        """Stored ``(table, column)`` pairs, optionally for one table."""
+        pairs = self.backend.columns()
+        if table is None:
+            return pairs
+        return [p for p in pairs if p[0] == table]
+
+    def tables(self) -> list[str]:
+        return self.backend.tables()
 
     def block_range(self, block: int) -> tuple[int, int]:
         """Row range ``[start, stop)`` covered by block index ``block``."""
@@ -120,8 +199,35 @@ class BlockStore:
 
     def column_stored_bytes(self, table: str, column: str) -> int:
         """Total stored (possibly compressed) size of a column."""
-        return sum(
-            len(blob)
-            for key, blob in self._blocks.items()
-            if key.table == table and key.column == column
-        )
+        meta = self.backend.column_meta(table, column)
+        if meta is None:
+            return 0
+        return meta.stored_bytes
+
+    # -- table metadata (durable recovery) -------------------------------
+
+    def set_table_schema(self, table: str, schema: Schema) -> None:
+        self.backend.set_table_meta(table, schema=schema.to_dict())
+
+    def table_schema(self, table: str) -> Schema | None:
+        raw = self.backend.get_table_meta(table).get("schema")
+        return Schema.from_dict(raw) if raw else None
+
+    def set_image_lsn(self, table: str, lsn: int) -> None:
+        """Record the LSN the table's stored image is consecutive to; WAL
+        replay skips this table's records at or below it (they are folded
+        into the image the catalog publishes)."""
+        self.backend.set_table_meta(table, image_lsn=int(lsn))
+
+    def image_lsn(self, table: str) -> int:
+        return int(self.backend.get_table_meta(table).get("image_lsn", 0))
+
+    # -- durability ------------------------------------------------------
+
+    def sync(self) -> None:
+        """Publish everything stored so far (the backend's atomic commit
+        point; no-op on volatile backends)."""
+        self.backend.sync()
+
+    def close(self) -> None:
+        self.backend.close()

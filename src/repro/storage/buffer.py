@@ -73,7 +73,7 @@ class BufferPool:
         total = self.store.column_rows(table, column)
         stop_row = min(stop_row, total)
         if stop_row <= start_row:
-            dtype = self.store._dtypes[(table, column)]
+            dtype = self.store.column_dtype(table, column)
             return np.empty(0, dtype=dtype.numpy_dtype)
         pieces = []
         for blk in self.store.blocks_for_rows(start_row, stop_row):
@@ -113,9 +113,7 @@ class BufferPool:
         so warming is invisible to per-query accounting.
         """
         before = self.io.snapshot()
-        for (tbl, column), _dtype in list(self.store._dtypes.items()):
-            if tbl != table:
-                continue
+        for tbl, column in self.store.columns(table):
             if columns is not None and column not in columns:
                 continue
             for blk in range(self.store.column_blocks(tbl, column)):

@@ -161,3 +161,21 @@ class Schema:
 
     def is_sk_column(self, name: str) -> bool:
         return name in self.sort_key
+
+    # -- persistence (storage-backend catalogs) ----------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe form, persisted in durable storage catalogs so a
+        recovered database can rebuild tables without re-registration."""
+        return {
+            "columns": [[c.name, c.dtype.value] for c in self.columns],
+            "sort_key": list(self.sort_key),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Schema":
+        return cls(
+            [ColumnSpec(name, DataType(dtype))
+             for name, dtype in raw["columns"]],
+            tuple(raw["sort_key"]),
+        )

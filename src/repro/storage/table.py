@@ -101,10 +101,39 @@ class StableTable:
     # -- storage binding ---------------------------------------------------
 
     def attach_storage(self, pool: BufferPool) -> None:
-        """Write all columns to the pool's block store; reads now do 'I/O'."""
+        """Write all columns to the pool's block store; reads now do 'I/O'.
+
+        The schema rides along into the store's catalog so a durable
+        backend can rebuild this table after a crash
+        (:meth:`from_storage`).
+        """
         for col in self._columns.values():
             pool.store.store_column(self.name, col.name, col.dtype, col.values)
+        pool.store.set_table_schema(self.name, self.schema)
         self._pool = pool
+
+    @classmethod
+    def from_storage(cls, name: str, schema: Schema,
+                     pool: BufferPool) -> "StableTable":
+        """Rebuild a stable image from the *persisted* blocks of the
+        pool's store — the kill-and-reopen recovery path. No blocks are
+        re-written; reads decode exactly the bytes a checkpoint (or bulk
+        load) published before the crash.
+        """
+        from .blocks import BlockKey
+
+        store = pool.store
+        columns = []
+        for spec in schema.columns:
+            parts = [
+                store.read_block(BlockKey(name, spec.name, b))
+                for b in range(store.column_blocks(name, spec.name))
+            ]
+            values = parts[0] if len(parts) == 1 else np.concatenate(parts)
+            columns.append(Column(spec.name, spec.dtype, values))
+        table = cls(name, schema, columns)
+        table._pool = pool
+        return table
 
     def detach_storage(self) -> None:
         self._pool = None

@@ -12,6 +12,7 @@ from .pins import PinnedLayout, PinnedTable, SnapshotPin
 from .recovery import (
     recover_database,
     recover_manager,
+    recover_persistent,
     restore_sharded_tables,
 )
 from .scheduler import (
@@ -61,6 +62,7 @@ __all__ = [
     "policy_from_spec",
     "recover_database",
     "recover_manager",
+    "recover_persistent",
     "replay_into",
     "restore_sharded_tables",
 ]

@@ -56,6 +56,13 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
             state.stable.detach_storage()
         pool.store.drop_table(table)
         new_stable.attach_storage(pool)
+        # Publish the new image (fsync blocks, atomically swap the
+        # catalog) *before* the WAL rebase below drops the folded
+        # records. A kill before the publish recovers the old image plus
+        # the full log; after it, the persisted image_lsn makes replay
+        # skip the folded history even if the rebase never landed.
+        pool.store.set_image_lsn(table, manager._lsn)
+        pool.store.sync()
         pool.clear()
     state.stable = new_stable
     state.read_pdt = PDT(state.schema)
@@ -163,6 +170,17 @@ def checkpoint_table_range(manager: TransactionManager, table: str,
             state.stable.detach_storage()  # pinned readers keep the old image
         pool.store.drop_table(table)
         new_stable.attach_storage(pool)
+        if not survivor.is_empty():
+            # Surviving deltas must be durable before the publish makes
+            # replay skip the commit history that carried them: the
+            # snapshot is tagged with the image it is consecutive to and
+            # only applies once that image's catalog is the published one.
+            manager.wal.append_snapshot(
+                table, survivor, lsn=manager._lsn,
+                for_image_lsn=manager._lsn,
+            )
+        pool.store.set_image_lsn(table, manager._lsn)
+        pool.store.sync()
         pool.evict_table(table)
     state.stable = new_stable
     state.read_pdt = survivor

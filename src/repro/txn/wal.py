@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import contextlib
 import json
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -41,8 +42,9 @@ def _to_native(value):
 
 @dataclass
 class WalRecord:
-    """One logged event: a commit (per-table entry lists) or a metadata
-    record such as a shard layout."""
+    """One logged event: a commit (per-table entry lists), a delta
+    snapshot re-logged by an incremental checkpoint, or a metadata record
+    such as a shard layout."""
 
     lsn: int
     tables: dict = field(default_factory=dict)
@@ -52,10 +54,18 @@ class WalRecord:
 
 
 class WriteAheadLog:
-    """Append-only commit log, in memory with optional file persistence."""
+    """Append-only commit log, in memory with optional file persistence.
 
-    def __init__(self, path=None):
+    File durability: appends are flushed and (by default) fsynced per
+    record — "force-written at commit" — and every whole-file rewrite
+    (truncate, rebase, layout update) goes through a temp file and an
+    atomic ``os.replace``, so a kill mid-rewrite leaves the previous
+    complete log, never a torn one.
+    """
+
+    def __init__(self, path=None, fsync: bool = True):
         self.path = path
+        self.fsync = fsync
         self.records: list[WalRecord] = []
         self._defer_rewrites = False
 
@@ -83,14 +93,39 @@ class WriteAheadLog:
             name: self._serialize_pdt(pdt)
             for name, pdt in table_pdts.items()
         }
-        record = WalRecord(lsn=lsn, tables=tables)
+        self._append_record(WalRecord(lsn=lsn, tables=tables))
+
+    def append_snapshot(self, table: str, snapshot_pdt, lsn: int,
+                        for_image_lsn: int) -> None:
+        """Append a delta-snapshot record *before* a new stable image is
+        published (the pre-publish leg of an incremental checkpoint).
+
+        The record is tagged with the LSN of the image it is consecutive
+        to: replay applies it only when the persisted catalog says that
+        exact image was published (``image_lsn == for_image_lsn``), so a
+        crash on either side of the publish recovers consistently —
+        before it, the still-logged commit history applies and the
+        snapshot is ignored; after it, the history is skipped (folded
+        into the image) and the snapshot provides the surviving deltas.
+        """
+        self._append_record(WalRecord(
+            lsn=lsn,
+            kind="snapshot",
+            tables={table: self._serialize_pdt(snapshot_pdt)},
+            meta={"table": table, "for_image_lsn": int(for_image_lsn)},
+        ))
+
+    def _append_record(self, record: WalRecord) -> None:
         self.records.append(record)
-        if self.path is not None:
+        if self.path is not None and not self._defer_rewrites:
             with open(self.path, "a", encoding="utf-8") as fh:
                 fh.write(
                     json.dumps(self._to_json(record), default=_to_native)
                     + "\n"
                 )
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
 
     def truncate(self) -> None:
         """Discard logged commit records (after a checkpoint made them
@@ -146,7 +181,7 @@ class WriteAheadLog:
         return out
 
     def rebase_table(self, table: str, snapshot_pdt=None,
-                     lsn: int = 0) -> None:
+                     lsn: int = 0, for_image_lsn: int | None = None) -> None:
         """Drop one table's logged history after its stable image was
         rebuilt, keeping recovery exact.
 
@@ -158,10 +193,18 @@ class WriteAheadLog:
         the new stable image — so recovery replays exactly the still-live
         deltas and nothing that was folded. Other tables' records are
         untouched (their per-commit shares are kept).
+
+        With durable storage this is pure garbage collection: the
+        published catalog's ``image_lsn`` already makes replay skip the
+        folded history (and any pre-publish :meth:`append_snapshot`
+        record whose tag no longer matches), so a crash before this
+        rewrite lands recovers identically.
         """
         rebased = []
         for record in self.records:
-            if table in record.tables:
+            if record.kind == "snapshot" and record.meta["table"] == table:
+                continue  # superseded by the fresh snapshot (if any)
+            if record.kind == "commit" and table in record.tables:
                 remaining = {
                     name: entries
                     for name, entries in record.tables.items()
@@ -176,7 +219,14 @@ class WriteAheadLog:
             self.records.append(
                 WalRecord(
                     lsn=lsn,
+                    kind="snapshot",
                     tables={table: self._serialize_pdt(snapshot_pdt)},
+                    meta={
+                        "table": table,
+                        "for_image_lsn": int(
+                            lsn if for_image_lsn is None else for_image_lsn
+                        ),
+                    },
                 )
             )
         self._rewrite_file()
@@ -202,12 +252,17 @@ class WriteAheadLog:
     def _rewrite_file(self) -> None:
         if self.path is None or self._defer_rewrites:
             return
-        with open(self.path, "w", encoding="utf-8") as fh:
+        tmp = str(self.path) + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
             for record in self.records:
                 fh.write(
                     json.dumps(self._to_json(record), default=_to_native)
                     + "\n"
                 )
+            fh.flush()
+            if self.fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self.path)  # a kill leaves old or new, never torn
 
     def __len__(self) -> int:
         return len(self.records)
@@ -222,13 +277,33 @@ class WriteAheadLog:
 
     @classmethod
     def load(cls, path) -> "WriteAheadLog":
-        """Read a persisted log back from disk."""
+        """Read a persisted log back from disk.
+
+        A torn trailing line (the record a kill interrupted mid-append)
+        is discarded *and truncated off the file*: appends are the unit
+        of commit durability, so a partial record is a commit that never
+        happened — and leaving its bytes in place would corrupt the next
+        append (which would land on the same line, losing that commit at
+        the following recovery).
+        """
         wal = cls(path=None)
-        with open(path, encoding="utf-8") as fh:
+        valid_bytes = 0
+        torn = False
+        missing_newline = False
+        with open(path, "rb") as fh:
             for line in fh:
                 if not line.strip():
+                    valid_bytes += len(line)
                     continue
-                raw = json.loads(line)
+                try:
+                    raw = json.loads(line.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    torn = True
+                    break
+                valid_bytes += len(line)
+                # A complete record whose trailing newline the kill cut
+                # off parses fine but would merge with the next append.
+                missing_newline = not line.endswith(b"\n")
                 tables = {
                     name: [tuple(e) for e in entries]
                     for name, entries in raw["tables"].items()
@@ -237,12 +312,23 @@ class WriteAheadLog:
                     lsn=raw["lsn"], tables=tables,
                     kind=raw.get("kind", "commit"), meta=raw.get("meta"),
                 ))
+        if torn:
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+                fh.flush()
+                os.fsync(fh.fileno())
+        elif missing_newline:
+            with open(path, "ab") as fh:
+                fh.write(b"\n")
+                fh.flush()
+                os.fsync(fh.fileno())
         wal.path = path
         return wal
 
 
 def replay_into(wal: WriteAheadLog, pdts: dict,
-                max_records: int | None = None) -> int:
+                max_records: int | None = None,
+                image_lsns: dict | None = None) -> int:
     """Re-apply logged commits to fresh master Write-PDTs.
 
     ``pdts`` maps table name -> empty PDT (one per table). Records are
@@ -255,24 +341,46 @@ def replay_into(wal: WriteAheadLog, pdts: dict,
     crash at that record boundary would recover to. Records are the unit
     of atomicity: a prefix of whole records is always a transaction-
     consistent image.
+
+    ``image_lsns`` (table -> LSN of the *persisted* stable image, from a
+    durable backend's catalog) makes replay image-aware: a table's commit
+    entries at or below its image LSN are skipped — the published image
+    already folded them in — and a ``snapshot`` record applies only when
+    its ``for_image_lsn`` tag matches the persisted image. This is what
+    closes the crash window between a checkpoint's catalog publish and
+    its WAL rebase. Without ``image_lsns`` (in-memory recovery from
+    re-registered images) every record applies, as before.
     """
     from ..core.propagate import propagate_batch
+
+    def _apply(name, entries):
+        if name not in pdts:
+            raise KeyError(f"WAL references unknown table {name!r}")
+        target = pdts[name]
+        staging = target.__class__(target.schema)
+        staging.bulk_append_entries(
+            (sid, kind, tuple(payload) if kind == KIND_DEL else payload)
+            for sid, kind, payload in entries
+        )
+        propagate_batch(target, staging)
 
     last_lsn = 0
     records = wal.records if max_records is None else \
         wal.records[:max_records]
     for record in records:
-        if record.kind != "commit":
+        if record.kind == "commit":
+            for name, entries in record.tables.items():
+                if image_lsns is not None and \
+                        record.lsn <= image_lsns.get(name, 0):
+                    continue  # folded into the published image
+                _apply(name, entries)
+        elif record.kind == "snapshot":
+            name = record.meta["table"]
+            if image_lsns is None or \
+                    image_lsns.get(name, 0) == record.meta["for_image_lsn"]:
+                _apply(name, record.tables[name])
+            # else: tagged for an image that was never published — ignore
+        else:
             continue
-        for name, entries in record.tables.items():
-            if name not in pdts:
-                raise KeyError(f"WAL references unknown table {name!r}")
-            target = pdts[name]
-            staging = target.__class__(target.schema)
-            staging.bulk_append_entries(
-                (sid, kind, tuple(payload) if kind == KIND_DEL else payload)
-                for sid, kind, payload in entries
-            )
-            propagate_batch(target, staging)
         last_lsn = record.lsn
     return last_lsn

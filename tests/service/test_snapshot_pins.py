@@ -215,13 +215,14 @@ class TestPinsVsRebalance:
         sharded = db.sharded("t")
         pin = db.pin_snapshot()
         retired = sharded.shard_names[0]
+        retired_store = db.manager.state_of(retired).stable.pool.store
         assert split_shard(sharded, 0)
         # the retired shard's blocks are still alive for the pin
         assert sharded.drain_retired() == 1
-        assert db.store.has_column(retired, "k")
+        assert retired_store.has_column(retired, "k")
         pin.release()
         assert sharded.drain_retired() == 0
-        assert not db.store.has_column(retired, "k")
+        assert not retired_store.has_column(retired, "k")
 
     def test_autonomous_rebalancer_defers_under_pins(self, sharded_db):
         db = sharded_db

@@ -245,8 +245,9 @@ class TestRebalanceWalHygiene:
         db, _ = make_pair(shards=1)
         st = db.sharded("t")
         old = st.shard_names[0]
+        old_store = db.manager.state_of(old).stable.pool.store
         db.query("t")  # populate pool
         assert split_shard(st, 0)
-        assert not db.store.has_column(old, "k")
+        assert not old_store.has_column(old, "k")
         with pytest.raises(KeyError):
             db.manager.state_of(old)

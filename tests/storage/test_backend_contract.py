@@ -1,0 +1,288 @@
+"""Backend conformance suite: every StorageBackend obeys one contract.
+
+Run against both shipped implementations (memory, mmap). Each case
+exercises the contract through :class:`~repro.storage.blocks.BlockStore`
+where layout is involved (round-trips, row counts) and directly where the
+backend itself owns the behavior (catalog metadata, sync/reopen).
+"""
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    BlockKey,
+    BlockStore,
+    DataType,
+    MemoryBackend,
+    MemoryStorage,
+    MmapFileBackend,
+    MmapStorage,
+    Schema,
+)
+
+
+@pytest.fixture(params=["memory", "mmap"])
+def backend_env(request, tmp_path):
+    """(make_backend, reopen) pair per implementation.
+
+    ``make_backend()`` returns a fresh backend; ``reopen(backend)``
+    simulates a process restart — for mmap a brand-new instance over the
+    same root (reading only what was published), for memory the same
+    instance (its 'persistence' is the process lifetime).
+    """
+    if request.param == "memory":
+        def make():
+            return MemoryBackend()
+
+        def reopen(backend):
+            return backend
+    else:
+        def make():
+            return MmapFileBackend(tmp_path / "store")
+
+        def reopen(backend):
+            backend.sync()
+            backend.close()
+            return MmapFileBackend(tmp_path / "store")
+
+    return make, reopen
+
+
+def make_store(backend, block_rows=8, compressed=True):
+    return BlockStore(compressed=compressed, block_rows=block_rows,
+                      backend=backend)
+
+
+class TestBlockRoundTrip:
+    def test_int_and_string_round_trip(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(20))
+        store.store_column("t", "s", DataType.STRING,
+                           np.array(["a", "bb", ""] * 7, dtype=object)[:20])
+        assert store.column_rows("t", "v") == 20
+        assert list(store.read_block(BlockKey("t", "v", 1))) == \
+            list(range(8, 16))
+        got = np.concatenate([
+            store.read_block(BlockKey("t", "s", b)) for b in range(3)
+        ])
+        assert list(got) == (["a", "bb", ""] * 7)[:20]
+
+    def test_empty_column_stores_one_empty_block(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, [])
+        assert store.column_rows("t", "v") == 0
+        assert store.column_blocks("t", "v") == 1
+        assert len(store.read_block(BlockKey("t", "v", 0))) == 0
+
+    def test_partial_tail_block(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(11))
+        assert store.column_blocks("t", "v") == 2
+        assert list(store.read_block(BlockKey("t", "v", 1))) == [8, 9, 10]
+        # stored size is the encoded size the I/O accounting charges
+        assert store.stored_size(BlockKey("t", "v", 1)) == \
+            len(store.backend.get_block("t", "v", 1))
+
+    def test_restore_same_key_truncates_old_blocks(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(30))
+        assert store.column_blocks("t", "v") == 4
+        store.store_column("t", "v", DataType.INT64, np.arange(5))
+        assert store.column_blocks("t", "v") == 1
+        assert store.column_rows("t", "v") == 5
+        with pytest.raises(LookupError):  # KeyError or IndexError per impl
+            store.backend.get_block("t", "v", 3)
+
+    def test_delete_table(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(10))
+        store.store_column("u", "v", DataType.INT64, np.arange(10))
+        store.drop_table("t")
+        assert not store.has_column("t", "v")
+        assert store.has_column("u", "v")
+        assert store.tables() == ["u"]
+
+
+class TestRowCountContract:
+    """Row counts derive from per-block records — overwrites stay honest
+    (the fix for the store-time-pinned ``_row_counts`` desync)."""
+
+    def test_tail_overwrite_changes_row_count(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(11))
+        assert store.column_rows("t", "v") == 11
+        store.store_block("t", "v", 1, np.arange(7))
+        assert store.column_rows("t", "v") == 15
+        store.store_block("t", "v", 1, np.arange(1))
+        assert store.column_rows("t", "v") == 9
+        assert list(store.read_block(BlockKey("t", "v", 1))) == [0]
+
+    def test_interior_overwrite_must_stay_full(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(20))
+        with pytest.raises(ValueError):
+            store.store_block("t", "v", 0, np.arange(3))
+        store.store_block("t", "v", 0, np.arange(100, 108))
+        assert store.column_rows("t", "v") == 20
+        assert list(store.read_block(BlockKey("t", "v", 0))) == \
+            list(range(100, 108))
+
+    def test_append_block_requires_full_tail(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(11))
+        with pytest.raises(ValueError):
+            store.store_block("t", "v", 2, np.arange(4))  # tail has 3 rows
+        store.store_block("t", "v", 1, np.arange(8))  # fill the tail
+        store.store_block("t", "v", 2, np.arange(4))
+        assert store.column_rows("t", "v") == 20
+        assert store.column_blocks("t", "v") == 3
+
+    def test_fast_accessors_track_per_block_records(self, backend_env):
+        """column_dtype/column_rows are O(1) accessors but must stay
+        consistent with the per-block catalog through overwrites."""
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(11))
+        backend = store.backend
+        assert backend.column_dtype("t", "v") is DataType.INT64
+        assert backend.column_rows("t", "v") == \
+            backend.column_meta("t", "v").row_count == 11
+        store.store_block("t", "v", 1, np.arange(5))
+        assert backend.column_rows("t", "v") == \
+            backend.column_meta("t", "v").row_count == 13
+        with pytest.raises(KeyError):
+            backend.column_dtype("t", "missing")
+
+    def test_oversized_block_rejected(self, backend_env):
+        make, _ = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(8))
+        with pytest.raises(ValueError):
+            store.store_block("t", "v", 0, np.arange(9))
+
+
+class TestSyncAndCatalogReopen:
+    def test_reopen_sees_published_state(self, backend_env):
+        make, reopen = backend_env
+        store = make_store(make(), block_rows=4, compressed=False)
+        store.store_column("t", "v", DataType.INT64, np.arange(10))
+        store.sync()
+        store2 = BlockStore(backend=reopen(store.backend))
+        # store config adopted from the persisted catalog
+        assert store2.block_rows == 4
+        assert store2.compressed is False
+        assert store2.column_rows("t", "v") == 10
+        assert list(store2.read_block(BlockKey("t", "v", 2))) == [8, 9]
+
+    def test_unsynced_writes_invisible_after_mmap_reopen(self, tmp_path):
+        backend = MmapFileBackend(tmp_path / "store")
+        store = make_store(backend)
+        store.store_column("t", "v", DataType.INT64, np.arange(10))
+        store.sync()
+        store.store_column("u", "v", DataType.INT64, np.arange(5))
+        backend.close()  # no sync: "u" was never published
+        again = BlockStore(backend=MmapFileBackend(tmp_path / "store"))
+        assert again.has_column("t", "v")
+        assert not again.has_column("u", "v")
+
+    def test_table_meta_round_trips(self, backend_env):
+        make, reopen = backend_env
+        store = make_store(make())
+        schema = Schema.build(("k", DataType.INT64), ("s", DataType.STRING),
+                              sort_key=("k",))
+        store.store_column("t", "k", DataType.INT64, np.arange(3))
+        store.set_table_schema("t", schema)
+        store.set_image_lsn("t", 17)
+        store.sync()
+        store2 = BlockStore(backend=reopen(store.backend))
+        assert store2.table_schema("t") == schema
+        assert store2.image_lsn("t") == 17
+
+    def test_delete_survives_reopen(self, backend_env):
+        make, reopen = backend_env
+        store = make_store(make())
+        store.store_column("t", "v", DataType.INT64, np.arange(10))
+        store.sync()
+        store.drop_table("t")
+        store.sync()
+        store2 = BlockStore(backend=reopen(store.backend))
+        assert store2.tables() == []
+
+    def test_second_open_of_live_root_does_not_sweep_inflight_epoch(
+            self, tmp_path):
+        """The orphan-segment sweep only runs under the root's writer
+        lock: a second open of a *live* root (its writer mid-rewrite,
+        new epoch appended but unpublished) must not delete the live
+        writer's in-flight segment files."""
+        writer = MmapFileBackend(tmp_path / "store")
+        store = make_store(writer)
+        store.store_column("t", "v", DataType.INT64, np.arange(10))
+        store.sync()
+        store.drop_table("t")  # epoch bump: rewrite in flight
+        store.store_column("t", "v", DataType.INT64, np.arange(20))
+        seg_dir = tmp_path / "store" / "segments"
+        inflight = sorted(seg_dir.glob("*.seg"))
+        assert len(inflight) == 2  # published epoch + unpublished epoch
+
+        reader = MmapFileBackend(tmp_path / "store")  # lock held by writer
+        assert sorted(seg_dir.glob("*.seg")) == inflight
+        assert reader.column_rows("t", "v") == 10  # published catalog
+        reader.close()
+
+        store.sync()  # the live writer publishes and reclaims normally
+        writer.close()
+        assert len(list(seg_dir.glob("*.seg"))) == 1
+        reopened = BlockStore(backend=MmapFileBackend(tmp_path / "store"))
+        assert reopened.column_rows("t", "v") == 20
+
+    def test_mmap_segment_files_are_per_table_and_reclaimed(self, tmp_path):
+        backend = MmapFileBackend(tmp_path / "store")
+        store = make_store(backend)
+        store.store_column("a", "v", DataType.INT64, np.arange(10))
+        store.store_column("b", "v", DataType.INT64, np.arange(10))
+        store.sync()
+        seg_dir = tmp_path / "store" / "segments"
+        assert len(list(seg_dir.glob("*.seg"))) == 2
+        store.drop_table("a")
+        store.sync()  # publish, then reclaim a's file
+        assert len(list(seg_dir.glob("*.seg"))) == 1
+
+
+class TestStorageFactories:
+    def test_scopes_are_isolated(self, tmp_path):
+        for factory in (MemoryStorage(), MmapStorage(tmp_path / "db")):
+            main = BlockStore(backend=factory.open(""))
+            shard = BlockStore(backend=factory.open("t__s0"))
+            main.store_column("t", "v", DataType.INT64, np.arange(4))
+            assert not shard.has_column("t", "v")
+            factory.discard("t__s0")
+
+    def test_discard_deletes_real_files(self, tmp_path):
+        factory = MmapStorage(tmp_path / "db")
+        store = BlockStore(backend=factory.open("t__s0"))
+        store.store_column("t__s0", "v", DataType.INT64, np.arange(4))
+        store.sync()
+        assert "t__s0" in factory.scopes()
+        factory.discard("t__s0")
+        assert "t__s0" not in factory.scopes()
+        assert not (tmp_path / "db" / "shards" / "t__s0").exists()
+
+    def test_byte_identical_blobs_across_backends(self, tmp_path):
+        """The mmap backend stores exactly the bytes the memory backend
+        does — compression-dependent I/O volumes stay comparable."""
+        mem = make_store(MemoryBackend())
+        mm = make_store(MmapFileBackend(tmp_path / "store"))
+        data = np.arange(100) * 3
+        mem.store_column("t", "v", DataType.INT64, data)
+        mm.store_column("t", "v", DataType.INT64, data)
+        for b in range(mem.column_blocks("t", "v")):
+            assert mem.backend.get_block("t", "v", b) == \
+                bytes(mm.backend.get_block("t", "v", b))

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.storage import (
+    BlockKey,
     BlockStore,
     BufferPool,
     Column,
@@ -107,9 +108,7 @@ class TestBlockStoreAndBufferPool:
         store = BlockStore(compressed=True, block_rows=16)
         store.store_column("t", "v", DataType.INT64, np.arange(50))
         assert store.column_blocks("t", "v") == 4
-        assert store.read_block(
-            next(iter(store._blocks))
-        ) is not None
+        assert store.read_block(BlockKey("t", "v", 0)) is not None
 
     def test_buffer_pool_counts_misses_once(self):
         store = BlockStore(compressed=False, block_rows=16)
