@@ -33,7 +33,10 @@ MEASUREMENT_COLUMNS = {"speedup_x", "jobs_shared"}
 
 
 def _is_measurement(col: str) -> bool:
-    return col in MEASUREMENT_COLUMNS or col.endswith("_ms")
+    # *_ms = per-run timings, *_cps = per-run throughput rates; neither
+    # is part of a row's configuration key.
+    return (col in MEASUREMENT_COLUMNS or col.endswith("_ms")
+            or col.endswith("_cps"))
 
 
 def _keyed_speedups(payload: dict) -> dict[tuple, float]:

@@ -26,6 +26,25 @@ exactly at the chosen boundary:
                           never dropped
 * ``abandon``           — after the whole workload, no clean close
 
+Group-commit boundaries run a *different* child: four concurrent writers
+submit batches through the query service (striped WAL, coalesced
+fsyncs), and each writer appends the batch id to an fsynced ``acks``
+file only after its future resolved — so the acks file is exactly the
+set of acknowledged commits at the kill. The kill lands inside the
+leader's shared flush via the coordinator's crash hook:
+
+* ``group-pre-fsync``   — batch lines written, no file fsynced yet
+* ``group-mid-fsync``   — some stream files fsynced, others not
+* ``group-post-fsync``  — everything fsynced, no ticket resolved (and so
+                          nothing acknowledged)
+* ``group-torn-write``  — like pre-fsync, plus the last file's tail is
+                          truncated mid-record (a torn append)
+
+Recovery must show every *acknowledged* batch fully applied and every
+batch — acknowledged or not — applied all-or-nothing (each batch mixes
+one insert with spread modifies, and every modified key is touched by
+exactly one batch, so partial application is detectable per key).
+
 The child appends the full logical row image of every table to an
 ``oracle.json`` (written atomically, fsynced) after each commit; since
 commits are WAL-fsynced, the last published oracle is exactly the state
@@ -66,10 +85,17 @@ MAINTENANCE_POINTS = [
     "split-post-wal",
 ]
 
+GROUP_POINTS = [
+    "group-pre-fsync",
+    "group-mid-fsync",
+    "group-post-fsync",
+    "group-torn-write",
+]
+
 
 def default_points(n_commits: int) -> list[str]:
     return [f"commit:{k}" for k in range(1, n_commits + 1)] \
-        + MAINTENANCE_POINTS + ["abandon"]
+        + MAINTENANCE_POINTS + ["abandon"] + GROUP_POINTS
 
 
 # ---------------------------------------------------------------------------
@@ -258,6 +284,161 @@ def run_child(root: str, point: str, rows: int) -> None:
 
 
 # ---------------------------------------------------------------------------
+# group-commit child: concurrent writers, kill inside the shared fsync
+
+GROUP_WRITERS = 4
+GROUP_BATCHES = 60          # per writer
+GROUP_SEED_ROWS = 800       # seeded keys 0..799, v == k
+GROUP_WITNESS_BASE = 10_000
+# Wait until this many flushes landed before killing, so recovery has
+# both durable history and an in-flight group to reason about.
+GROUP_MIN_FLUSHES = 4
+# orders__s0..3 hash onto two of four WAL streams (crc32 % 4), which is
+# what makes the mid-fsync boundary reachable: a coalesced flush spans
+# two files and the kill lands between their fsyncs.
+GROUP_WAL_STREAMS = 4
+
+
+def group_batch_ops(batch_id: int):
+    """The deterministic op list for one batch.
+
+    One *witness* insert (key ``GROUP_WITNESS_BASE + batch_id``) plus
+    three modifies of seeded keys. Modified keys are spread over the full
+    key range (hence over every shard) by a multiplicative scramble, and
+    each seeded key ``4*m + w`` belongs to exactly one ``(writer, seq)``
+    pair — so after a crash, every key independently reveals whether its
+    batch was applied, making partial application detectable.
+    """
+    writer, seq = divmod(batch_id, GROUP_BATCHES)
+    span = 3 * GROUP_BATCHES
+    ops = [("ins", (GROUP_WITNESS_BASE + batch_id, batch_id,
+                    f"b{batch_id}"))]
+    for j in range(3):
+        m = ((3 * seq + j) * 37) % span
+        ops.append(("mod", (4 * m + writer,), "v", batch_id))
+    return ops
+
+
+def run_group_child(root: str, point: str) -> None:
+    import threading
+
+    from repro import Database, DataType, Schema
+    from repro.txn.group_commit import GroupCommitPolicy
+
+    schema = Schema.build(
+        ("k", DataType.INT64), ("v", DataType.INT64),
+        ("tag", DataType.STRING), sort_key=("k",),
+    )
+    db = Database(
+        storage="mmap", storage_path=root, block_rows=64,
+        wal_streams=GROUP_WAL_STREAMS,
+        group_commit=GroupCommitPolicy(max_delay_s=0.002),
+    )
+    db.create_sharded_table(
+        "orders", schema,
+        [(i, i, f"o{i % 5}") for i in range(GROUP_SEED_ROWS)], shards=4,
+    )
+
+    acks_path = os.path.join(root, "acks.jsonl")
+    ack_lock = threading.Lock()
+
+    def ack(batch_id: int) -> None:
+        # fsync before returning: a line in this file is a *promise* that
+        # the commit was acknowledged as durable before the kill.
+        with ack_lock:
+            with open(acks_path, "a", encoding="utf-8") as fh:
+                fh.write(json.dumps(batch_id) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    target = "group-pre-fsync" if point == "group-torn-write" else point
+    flushes = {"n": 0}
+
+    def crash_hook(name, paths):
+        if name == "group-pre-fsync":
+            flushes["n"] += 1
+        if name != target or flushes["n"] < GROUP_MIN_FLUSHES:
+            return
+        if point == "group-torn-write":
+            # Tear the tail of the last file written in this flush: the
+            # final record line loses its closing bytes, exactly what a
+            # crash mid-append leaves behind.
+            tail = paths[-1]
+            size = os.path.getsize(tail)
+            with open(tail, "r+b") as fh:
+                fh.truncate(max(0, size - 4))
+        os._exit(CRASH_EXIT)
+
+    db.manager.wal.group.crash_hook = crash_hook
+
+    def writer(w: int, svc) -> None:
+        for i in range(GROUP_BATCHES):
+            batch_id = w * GROUP_BATCHES + i
+            future = svc.submit_batch("orders", group_batch_ops(batch_id))
+            future.result(timeout=60)
+            ack(batch_id)
+
+    with db.serve(workers=GROUP_WRITERS) as svc:
+        threads = [
+            threading.Thread(target=writer, args=(w, svc), daemon=True)
+            for w in range(GROUP_WRITERS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    # The armed boundary never fired: exit distinctly so the parent
+    # reports a configuration failure rather than a recovery one.
+    os._exit(3)
+
+
+def verify_group_recovery(root: str, point: str) -> None:
+    from repro import Database
+
+    acked = set()
+    acks_path = os.path.join(root, "acks.jsonl")
+    if os.path.exists(acks_path):
+        with open(acks_path, encoding="utf-8") as fh:
+            raw = fh.read()
+        # A line is only an acknowledgement once its newline landed; the
+        # kill can tear the final append mid-line.
+        for line in raw[: raw.rfind("\n") + 1].splitlines():
+            if line.strip():
+                acked.add(json.loads(line))
+    if not acked:
+        raise AssertionError(f"[{point}] no acknowledged batches before "
+                             "the kill; workload misconfigured")
+
+    db = Database.recover(root, wal_streams=GROUP_WAL_STREAMS)
+    try:
+        rows = {r[0]: (r[1], r[2]) for r in db.image_rows("orders")}
+        total = GROUP_WRITERS * GROUP_BATCHES
+        for batch_id in range(total):
+            applied = (GROUP_WITNESS_BASE + batch_id) in rows
+            if batch_id in acked and not applied:
+                raise AssertionError(
+                    f"[{point}] acknowledged batch {batch_id} lost")
+            # All-or-nothing: every key this batch modified must carry
+            # the batch's value iff the witness insert is present.
+            for op in group_batch_ops(batch_id)[1:]:
+                key = op[1][0]
+                v, _tag = rows[key]
+                if applied and v != batch_id:
+                    raise AssertionError(
+                        f"[{point}] batch {batch_id} applied but key "
+                        f"{key} has v={v}: partial application")
+                if not applied and v != key:
+                    raise AssertionError(
+                        f"[{point}] batch {batch_id} not applied but key "
+                        f"{key} has v={v}: partial application")
+        # The recovered database keeps accepting writes.
+        db.apply_batch("orders", [("ins", (10 ** 7, 1, "post-recovery"))])
+        assert any(r[0] == 10 ** 7 for r in db.image_rows("orders"))
+    finally:
+        db.close()
+
+
+# ---------------------------------------------------------------------------
 # parent: spawn, recover, verify
 
 
@@ -311,7 +492,10 @@ def run_matrix(points: list[str], rows: int, keep: bool = False) -> int:
             failures += 1
             continue
         try:
-            verify_recovery(root, point)
+            if point in GROUP_POINTS:
+                verify_group_recovery(root, point)
+            else:
+                verify_recovery(root, point)
             print(f"ok   [{point}]")
         except Exception as exc:  # noqa: BLE001 - report and count
             print(f"FAIL [{point}]: {exc}")
@@ -335,8 +519,12 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.child:
-        run_child(args.child[0], args.child[1], args.rows)
-        return 0  # unreachable: run_child always _exits
+        root, point = args.child
+        if point in GROUP_POINTS:
+            run_group_child(root, point)
+        else:
+            run_child(root, point, args.rows)
+        return 0  # unreachable: the child always _exits
 
     points = (args.points.split(",") if args.points
               else default_points(n_commits=6))

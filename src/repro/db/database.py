@@ -37,6 +37,7 @@ from ..txn.checkpoint import checkpoint_table, delta_memory_usage
 from ..txn.manager import TransactionManager
 from ..txn.scheduler import CheckpointScheduler, policy_from_spec
 from ..txn.transaction import Transaction
+from ..txn.group_commit import GroupCommitPolicy
 from ..txn.wal import WriteAheadLog
 
 
@@ -70,6 +71,22 @@ class Database:
     ``wal_path``
         Optional path for a persistent write-ahead log (defaults to
         ``<storage_path>/wal.jsonl`` on persistent storage).
+    ``group_commit``
+        Coalesced WAL fsyncs for concurrent writers (see
+        :mod:`repro.txn.group_commit`). ``True`` (default) uses the
+        default :class:`~repro.txn.group_commit.GroupCommitPolicy`; pass
+        a policy instance to tune ``max_group`` / ``max_delay_s``, or
+        ``False`` for one fsync per commit. Only meaningful on a
+        file-backed WAL; each commit is still force-written (its
+        acknowledgement waits for the shared fsync).
+    ``wal_streams``
+        Stripe commit records over this many per-shard WAL stream files
+        so a group flush fsyncs them in parallel (default 1 — a single
+        log file, the classic layout). Recovery merges the stripes.
+    ``max_pin_age_s``
+        When set, the checkpoint scheduler logs a warning (and counts
+        ``overdue_pin_warnings``) whenever maintenance is deferred by a
+        snapshot pin older than this — a stuck client made observable.
     ``write_pdt_limit_bytes``
         Budget used by the manual :meth:`maintain` convenience.
     ``checkpoint_policy``
@@ -95,6 +112,9 @@ class Database:
         checkpoint_policy=None,
         storage=None,
         storage_path=None,
+        group_commit=True,
+        wal_streams: int = 1,
+        max_pin_age_s: float | None = None,
     ):
         self.io = IOStats()
         self.storage = resolve_storage(storage, storage_path)
@@ -105,8 +125,15 @@ class Database:
                                capacity_bytes=buffer_capacity)
         if wal_path is None:
             wal_path = self.storage.wal_path()
+        if group_commit is True:
+            group_policy = GroupCommitPolicy()
+        elif group_commit is False or group_commit is None:
+            group_policy = None
+        else:
+            group_policy = group_commit  # a GroupCommitPolicy instance
         self.manager = TransactionManager(
-            wal=WriteAheadLog(wal_path, fsync=self.storage.fsync),
+            wal=WriteAheadLog(wal_path, fsync=self.storage.fsync,
+                              streams=wal_streams, group=group_policy),
             sparse_granularity=sparse_granularity,
         )
         # Shared with the manager: transactions route logical sharded
@@ -114,7 +141,8 @@ class Database:
         self._sharded: dict = self.manager.sharded_tables
         self.write_pdt_limit_bytes = write_pdt_limit_bytes
         self.scheduler = CheckpointScheduler(
-            self.manager, policy_from_spec(checkpoint_policy)
+            self.manager, policy_from_spec(checkpoint_policy),
+            max_pin_age_s=max_pin_age_s,
         )
         self.manager.add_commit_listener(self.scheduler.on_commit)
         self._services: list = []  # attached QueryService front-ends
@@ -622,6 +650,7 @@ class Database:
         # Clean shutdown is a durability point: publish every backend's
         # catalog before releasing file handles.
         self.storage.close()
+        self.manager.wal.close()
 
     def __enter__(self) -> "Database":
         return self

@@ -272,6 +272,10 @@ class ServiceStats:
     blocks_streamed: int = 0
     rows_streamed: int = 0
     maintenance_runs: int = 0
+    # Group-commit coalescing (durable backends; zero on memory storage):
+    group_commits: int = 0            # writes acknowledged via a group fsync
+    group_flushes_led: int = 0        # writes whose wait led the flush
+    group_commits_coalesced: int = 0  # writes that shared a flush
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 

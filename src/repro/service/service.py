@@ -18,11 +18,17 @@ One read request flows::
 
 Writes (scalar updates and bulk batches) run on the same pool but are
 serialized by the service's commit lock — the PDT layering makes readers
-never block on them: every live cursor reads pinned layer copies, and the
-write path only ever mutates the Write-PDT pins hold copies of. When the
-last in-flight request drains, the service runs the maintenance the
-checkpoint scheduler and rebalancer deferred while pins were live — the
-same between-queries draining ``Database.query`` does for synchronous use.
+never block on them: every live cursor reads pinned layers, and a commit
+on a pinned table swings the master Write-PDT to a copy instead of
+mutating the object pins loan. On durable storage the commit lock is also
+the group-commit coalescing point: each write stages its WAL record under
+the lock but waits for the shared fsync *outside* it, so while one
+writer's group fsync is in flight the next writer is already running its
+commit CPU work — fsyncs coalesce across writers and the asyncio façade
+gets the benefit for free through the existing futures. When the last
+in-flight request drains, the service runs the maintenance the checkpoint
+scheduler and rebalancer deferred while pins were live — the same
+between-queries draining ``Database.query`` does for synchronous use.
 """
 
 from __future__ import annotations
@@ -70,13 +76,30 @@ class _PinLease:
         return self
 
     def release(self) -> bool:
-        """Drop one hold; True when the lease just drained."""
+        """Drop one hold; True when the lease just drained. The pin is
+        released exactly once: ``owns`` is cleared under the lock, so a
+        lease whose pin was already force-released at service shutdown
+        (:meth:`disown`) cannot release it again when a leftover cursor
+        is closed afterwards."""
         with self._lock:
             self._count -= 1
             drained = self._count == 0
-        if drained and self.owns:
+            release_pin = drained and self.owns
+            if release_pin:
+                self.owns = False
+        if release_pin:
             self.pin.release()
         return drained
+
+    def disown(self) -> None:
+        """Force-release the owned pin (service shutdown outlives
+        never-drained cursors); later ``release`` calls become pin
+        no-ops."""
+        with self._lock:
+            release_pin = self.owns
+            self.owns = False
+        if release_pin:
+            self.pin.release()
 
 
 class QueryService:
@@ -235,9 +258,8 @@ class QueryService:
     def submit_batch(self, table: str, ops) -> Future:
         """Apply a whole update batch (bulk path, one transaction, one WAL
         record) through the service; resolves to the op count."""
-        self.stats.bump(batches=1)
         return self._submit_write(
-            lambda: self._db.apply_batch(table, list(ops)))
+            lambda: self._db.apply_batch(table, list(ops)), "batches")
 
     def submit_update(self, table: str, op) -> Future:
         """Apply one scalar op — ``("ins", row) | ("del", sk) |
@@ -252,15 +274,32 @@ class QueryService:
                                            op[3])
         else:
             raise ValueError(f"unknown op kind {kind!r}")
-        self.stats.bump(updates=1)
-        return self._submit_write(work)
+        return self._submit_write(work, "updates")
 
-    def _submit_write(self, work) -> Future:
+    def _submit_write(self, work, counter: str) -> Future:
         self._check_open()
+        # Count only admitted submissions (a ServiceClosed above must not
+        # inflate the write counters).
+        self.stats.bump(**{counter: 1})
+        manager = self._db.manager
 
         def locked():
             with self._write_lock:
-                return work()
+                # Stage the WAL record under the lock, wait for the
+                # shared group fsync outside it: the next writer runs its
+                # commit CPU work while ours is being made durable.
+                with manager.defer_durability():
+                    result = work()
+                ticket = manager.take_deferred_ticket()
+            if ticket is not None:
+                manager.wal.wait_durable(ticket)
+                self.stats.bump(
+                    group_commits=1,
+                    group_flushes_led=1 if ticket.led else 0,
+                    group_commits_coalesced=(
+                        1 if ticket.group_size > 1 else 0),
+                )
+            return result
 
         return self._pool.submit(locked)
 
@@ -360,8 +399,7 @@ class QueryService:
         with self._leases_lock:
             leases, self._leases = list(self._leases), set()
         for lease in leases:
-            if lease.owns:
-                lease.pin.release()
+            lease.disown()
         self._db.detach_service(self)
 
     def __enter__(self) -> "QueryService":

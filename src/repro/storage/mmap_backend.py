@@ -82,10 +82,16 @@ class _Segment:
         self._map: mmap.mmap | None = None
         self._mapped = 0
         self.dirty = False
+        # True after this open *created* the file: its directory entry is
+        # not durable until the segment directory is fsynced.
+        self.needs_dirsync = False
 
     def _ensure_fd(self) -> int:
         if self._fd is None:
+            existed = self.path.exists()
             self._fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+            if not existed:
+                self.needs_dirsync = True
         return self._fd
 
     def append(self, blob: bytes) -> int:
@@ -316,8 +322,17 @@ class MmapFileBackend(StorageBackend):
             if not self._dirty and not self._pending_unlink:
                 return
             if self.do_fsync:
+                dirsync = False
                 for seg in self._segments.values():
                     seg.fsync()
+                    if seg.needs_dirsync:
+                        dirsync = True
+                        seg.needs_dirsync = False
+                if dirsync:
+                    # Newly created segment files: make their directory
+                    # entries durable before the catalog publish can
+                    # reference them.
+                    _fsync_dir(self.seg_dir)
             payload = json.dumps(self._catalog_json(), indent=1)
             tmp = self.root / (CATALOG_NAME + ".tmp")
             fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_TRUNC, 0o644)

@@ -7,6 +7,11 @@ from .checkpoint import (
     checkpoint_table_range,
     delta_memory_usage,
 )
+from .group_commit import (
+    GroupCommitCoordinator,
+    GroupCommitPolicy,
+    GroupCommitStats,
+)
 from .manager import ManagerStats, TableState, TransactionManager
 from .pins import PinnedLayout, PinnedTable, SnapshotPin
 from .recovery import (
@@ -37,6 +42,9 @@ __all__ = [
     "CheckpointScheduler",
     "CompositePolicy",
     "Decision",
+    "GroupCommitCoordinator",
+    "GroupCommitPolicy",
+    "GroupCommitStats",
     "HotRangePolicy",
     "MaintenanceAction",
     "ManagerStats",

@@ -68,7 +68,6 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
     state.read_pdt = PDT(state.schema)
     state.write_pdt = PDT(state.schema)
     state.sparse_index = SparseIndex(new_stable, manager.sparse_granularity)
-    manager._snapshot_cache.pop(table, None)
     # This table's logged deltas are folded into the new image; drop them
     # from the WAL so recovery cannot double-apply them (other tables'
     # records stay).
@@ -185,7 +184,6 @@ def checkpoint_table_range(manager: TransactionManager, table: str,
     state.stable = new_stable
     state.read_pdt = survivor
     state.sparse_index = SparseIndex(new_stable, manager.sparse_granularity)
-    manager._snapshot_cache.pop(table, None)
     # Replace this table's WAL history with one snapshot of the surviving
     # (rebased) deltas: recovery then replays exactly the still-live
     # entries against the new stable image, never the folded ones.

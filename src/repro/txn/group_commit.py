@@ -1,0 +1,257 @@
+"""Leader/follower group commit: coalescing WAL fsyncs across writers.
+
+On durable storage every commit is "force-written at commit": its WAL
+record must be on disk before the commit is acknowledged. Paying one
+``os.fsync`` per commit serializes multi-writer throughput on fsync
+latency — the classical fix (DeWitt et al.'s group commit, as deployed in
+every WAL-based engine since) is to let concurrent committers *stage*
+their serialized records under a short critical section, elect one
+**leader** to write and fsync the whole batch in a single log append, and
+have the **followers** merely wait until the shared fsync lands.
+
+The protocol here:
+
+* :meth:`GroupCommitCoordinator.stage` appends the record's encoded lines
+  to the staging queue (mutex-guarded, O(bytes) work only) and returns a
+  :class:`GroupCommitTicket`.
+* A committer that needs durability calls :meth:`wait_durable`. It tries
+  the **flush lock**: the winner becomes the leader, drains the staged
+  queue (bounded by :attr:`GroupCommitPolicy.max_group`), writes every
+  line, fsyncs each touched log file once, and resolves all tickets.
+  Losers wait on their ticket's event — by the time the leader releases
+  the flush lock their record is usually already durable, and whoever
+  still holds an unresolved ticket becomes the next leader.
+* Acknowledgement order is staging order: the flush lock fully serializes
+  groups, so on-disk state is always *a prefix of acknowledged commits*
+  plus at most one partially-written (never acknowledged) group.
+
+With Python's GIL the win is exactly the textbook one: ``os.fsync``
+releases the GIL, so while the leader sleeps in the kernel every other
+writer runs its commit-path CPU work and stages; throughput moves from
+``1/(cpu + fsync)`` towards ``1/max(cpu, fsync/group)``.
+
+Whole-file WAL rewrites (checkpoint rebase, truncation, shard layout
+updates) take the same flush lock and resolve any still-staged tickets
+after the rewritten file lands: a rewrite only ever happens once the
+staged records' effects are covered by published stable images or by the
+rewritten log itself, so the rewrite *is* their durability point.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class GroupCommitPolicy:
+    """Tunables for the coalescing window.
+
+    ``max_group`` bounds the records one leader flushes (a full queue
+    leaves the rest to the next leader, keeping worst-case latency
+    bounded). ``max_delay_s`` optionally makes the leader linger that
+    long — or until ``max_group`` records are staged — before flushing,
+    trading commit latency for larger groups; the default of 0 never
+    delays (groups form naturally from fsync overlap).
+    """
+
+    max_group: int = 128
+    max_delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.max_group < 1:
+            raise ValueError("max_group must be >= 1")
+        if self.max_delay_s < 0:
+            raise ValueError("max_delay_s must be >= 0")
+
+
+class GroupCommitTicket:
+    """One staged record's durability handle (resolved by some leader)."""
+
+    __slots__ = ("_event", "error", "group_size", "led")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self.error: BaseException | None = None
+        self.group_size = 0   # records in the flush that resolved us
+        self.led = False      # True when our own wait led the flush
+
+    @property
+    def resolved(self) -> bool:
+        return self._event.is_set()
+
+    @property
+    def durable(self) -> bool:
+        return self._event.is_set() and self.error is None
+
+
+@dataclass
+class GroupCommitStats:
+    """Coordinator-wide counters (guarded by the staging mutex)."""
+
+    staged: int = 0        # records ever staged
+    flushes: int = 0       # leader flushes (each = one fsync round)
+    fsyncs: int = 0        # file fsyncs issued across all flushes
+    coalesced: int = 0     # records that shared a flush with another
+    max_group: int = 0     # largest group flushed so far
+    rewrite_drains: int = 0  # tickets resolved by a whole-file rewrite
+
+
+class GroupCommitCoordinator:
+    """The staging queue + leader election for one :class:`WriteAheadLog`.
+
+    Thread-safe; created by the WAL when a :class:`GroupCommitPolicy` is
+    configured and the log is file-backed. ``crash_hook`` is a test seam:
+    when set, it is called with a boundary name (``"group-pre-fsync"``,
+    ``"group-mid-fsync"``, ``"group-post-fsync"``) and the list of file
+    paths in the flush — ``scripts/crash_matrix.py`` uses it to kill the
+    process at exact points inside the shared fsync. With the hook set,
+    multi-file fsyncs run sequentially so the mid-fsync boundary is
+    deterministic; without it they run in parallel threads (per-shard WAL
+    streams fsync concurrently).
+    """
+
+    def __init__(self, wal, policy: GroupCommitPolicy | None = None):
+        self.wal = wal
+        self.policy = policy or GroupCommitPolicy()
+        self.stats = GroupCommitStats()
+        self.crash_hook = None
+        self._mutex = threading.Lock()      # guards _staged + stats
+        self.flush_lock = threading.Lock()  # one leader (or rewrite) at a time
+        self._staged: list[tuple[list, GroupCommitTicket]] = []
+
+    # -- staging -----------------------------------------------------------
+
+    def stage(self, parts: list) -> GroupCommitTicket:
+        """Queue one record's encoded lines. ``parts`` is a list of
+        ``(path, line)`` pairs — one per WAL stream the record spans (a
+        cross-shard commit splits into per-stream part lines sharing one
+        LSN). Returns the ticket a later flush resolves."""
+        ticket = GroupCommitTicket()
+        with self._mutex:
+            self._staged.append((list(parts), ticket))
+            self.stats.staged += 1
+        return ticket
+
+    def pending(self) -> int:
+        with self._mutex:
+            return len(self._staged)
+
+    # -- durability --------------------------------------------------------
+
+    def wait_durable(self, ticket: GroupCommitTicket) -> None:
+        """Block until ``ticket``'s record is durable, leading a flush if
+        nobody else is. Raises the flush's failure, if any."""
+        while not ticket.resolved:
+            if self.flush_lock.acquire(timeout=0.002):
+                try:
+                    if not ticket.resolved:
+                        self._flush_locked(leader=ticket)
+                finally:
+                    self.flush_lock.release()
+            else:
+                ticket._event.wait(0.05)
+        if ticket.error is not None:
+            raise ticket.error
+
+    def flush(self) -> None:
+        """Flush everything staged right now (used by inline appends and
+        at close; no-op when the queue is empty)."""
+        while self.pending():
+            with self.flush_lock:
+                self._flush_locked(leader=None)
+
+    # -- the leader's flush ------------------------------------------------
+
+    def _linger(self) -> None:
+        deadline = time.monotonic() + self.policy.max_delay_s
+        while (self.pending() < self.policy.max_group
+               and time.monotonic() < deadline):
+            time.sleep(min(0.0005, self.policy.max_delay_s))
+
+    def _flush_locked(self, leader: GroupCommitTicket | None) -> None:
+        if self.policy.max_delay_s > 0:
+            self._linger()
+        with self._mutex:
+            batch = self._staged[: self.policy.max_group]
+            del self._staged[: len(batch)]
+        if not batch:
+            return
+        by_path: dict = {}
+        for parts, _ in batch:
+            for path, line in parts:
+                by_path.setdefault(path, []).append(line)
+        paths = list(by_path)
+        try:
+            created = self.wal._write_lines(by_path)
+            if self.crash_hook is not None:
+                self.crash_hook("group-pre-fsync", paths)
+            if self.wal.fsync:
+                self._fsync_paths(paths)
+                for path in created:
+                    self.wal._fsync_parent(path)
+        except BaseException as exc:
+            for _, ticket in batch:
+                ticket.error = exc
+                ticket._event.set()
+            raise
+        size = len(batch)
+        with self._mutex:
+            self.stats.flushes += 1
+            if self.wal.fsync:
+                self.stats.fsyncs += len(paths)
+            if size > 1:
+                self.stats.coalesced += size
+            self.stats.max_group = max(self.stats.max_group, size)
+        if self.crash_hook is not None:
+            self.crash_hook("group-post-fsync", paths)
+        for _, ticket in batch:
+            ticket.group_size = size
+            ticket.led = ticket is leader
+            ticket._event.set()
+
+    def _fsync_paths(self, paths: list) -> None:
+        """One fsync per touched file; parallel across per-shard streams
+        (each fsync releases the GIL) unless a crash hook needs the
+        sequential, deterministic order."""
+        if len(paths) == 1 or self.crash_hook is not None:
+            for i, path in enumerate(paths):
+                self._fsync_one(path)
+                if self.crash_hook is not None and i + 1 < len(paths):
+                    self.crash_hook("group-mid-fsync", paths[: i + 1])
+            return
+        threads = [
+            threading.Thread(target=self._fsync_one, args=(path,))
+            for path in paths[1:]
+        ]
+        for t in threads:
+            t.start()
+        self._fsync_one(paths[0])
+        for t in threads:
+            t.join()
+
+    def _fsync_one(self, path) -> None:
+        # The WAL's persistent append handle already points at the right
+        # inode (rewrites close it under the shared flush lock).
+        os.fsync(self.wal._handle(path).fileno())
+
+    # -- rewrite integration ----------------------------------------------
+
+    def drain_for_rewrite(self) -> list[GroupCommitTicket]:
+        """Called by the WAL (holding the flush lock) before a whole-file
+        rewrite: take every staged ticket. The caller resolves them with
+        :meth:`resolve_drained` once the rewritten file is durable — the
+        rewrite covers their records (or the published images that folded
+        them)."""
+        with self._mutex:
+            batch, self._staged = self._staged, []
+        return [ticket for _, ticket in batch]
+
+    def resolve_drained(self, tickets: list) -> None:
+        with self._mutex:
+            self.stats.rewrite_drains += len(tickets)
+        for ticket in tickets:
+            ticket.group_size = max(len(tickets), 1)
+            ticket._event.set()

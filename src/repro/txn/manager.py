@@ -8,12 +8,19 @@ master Write-PDT. Serialized Trans-PDTs of recent commits are kept in the
 transactions, exactly as in the paper's Figure 15 walkthrough.
 
 No locks are taken anywhere on the read path: queries run against shared
-Read-PDTs and private Write-PDT snapshot copies.
+Read-PDTs and Write-PDT snapshots *loaned by reference* — "copying is not
+always required" (section 3.3). A snapshot loan stays valid because the
+commit path never mutates a Write-PDT somebody else is reading: when the
+master Write-PDT is shared with a running transaction or a live pin,
+Propagate runs into a fresh copy that then replaces the master
+(copy-on-commit), and the loaned object is left exactly as it was.
 """
 
 from __future__ import annotations
 
+import contextlib
 import threading
+import time
 from dataclasses import dataclass, field
 
 from ..core.pdt import PDT
@@ -57,8 +64,8 @@ class ManagerStats:
     aborts: int = 0
     conflicts: int = 0
     propagations: int = 0
-    snapshot_copies: int = 0
-    snapshot_reuses: int = 0
+    snapshot_copies: int = 0   # copy-on-commit: master replaced while loaned
+    snapshot_reuses: int = 0   # snapshots handed out by reference (loans)
 
 
 class TransactionManager:
@@ -74,8 +81,11 @@ class TransactionManager:
         self._tz: list[_CommitRecord] = []
         self._lsn = 0
         self._next_txn_id = 1
-        self._snapshot_cache: dict[str, tuple[int, PDT]] = {}
         self.wal = wal if wal is not None else WriteAheadLog()
+        # Per-thread durability deferral (see defer_durability()): the
+        # service stages the WAL record under its write lock but waits for
+        # the shared group fsync outside it, so waits overlap.
+        self._deferred = threading.local()
         self.sparse_granularity = sparse_granularity
         self.stats = ManagerStats()
         self._commit_listeners: list = []
@@ -122,7 +132,6 @@ class TransactionManager:
             state = self._tables.pop(table)
         except KeyError:
             raise KeyError(f"unknown table {table!r}") from None
-        self._snapshot_cache.pop(table, None)
         return state
 
     def state_of(self, table: str) -> TableState:
@@ -137,10 +146,17 @@ class TransactionManager:
     # -- snapshots ---------------------------------------------------------------
 
     def write_snapshot(self, table: str, start_lsn: int):
-        """Write-PDT copy as of ``start_lsn`` (None when it was empty).
+        """Write-PDT snapshot as of ``start_lsn`` (None when it was empty).
 
-        Copies are shared between transactions that started under the same
-        table version — "copying is not always required" (section 3.3).
+        The snapshot is the master Write-PDT itself, *loaned by
+        reference* — "copying is not always required" (section 3.3). The
+        loan is safe because Propagate never mutates a shared master: a
+        commit that finds its Write-PDT loaned out propagates into a
+        fresh copy and swings the master to it (see :meth:`_finish`), so
+        every loan keeps describing the commit point it was taken at.
+        Transactions and pins taken under the same commit LSN therefore
+        share one object, and the commit fast path (nothing loaned)
+        copies nothing at all.
         """
         state = self.state_of(table)
         if state.last_commit_lsn > start_lsn:
@@ -150,14 +166,8 @@ class TransactionManager:
             )
         if state.write_pdt.is_empty():
             return None
-        cached = self._snapshot_cache.get(table)
-        if cached is not None and cached[0] == state.last_commit_lsn:
-            self.stats.snapshot_reuses += 1
-            return cached[1]
-        snapshot = state.write_pdt.copy()
-        self._snapshot_cache[table] = (state.last_commit_lsn, snapshot)
-        self.stats.snapshot_copies += 1
-        return snapshot
+        self.stats.snapshot_reuses += 1
+        return state.write_pdt
 
     # -- snapshot pins -----------------------------------------------------------
 
@@ -167,10 +177,13 @@ class TransactionManager:
 
         Requires no quiescence: the pin captures committed state only
         (running transactions' Trans-PDTs are invisible to it). Write-PDT
-        copies come from the same snapshot cache transaction starts use,
-        so pins and transactions under one commit LSN share them. While
-        the pin is live, maintenance on its tables is deferred or runs
-        copy-on-write; release pins promptly.
+        snapshots are reference loans — the same ones transaction starts
+        take — so pins and transactions under one commit LSN share one
+        object and pinning copies nothing. While the pin is live,
+        maintenance on its tables is deferred or runs copy-on-write and
+        commits touching them propagate copy-on-commit; release pins
+        promptly (the scheduler can flag overdue ones, see
+        ``max_pin_age_s``).
         """
         tables = {
             name: PinnedTable(
@@ -194,6 +207,7 @@ class TransactionManager:
             pin = SnapshotPin(
                 manager=self, pin_id=self._next_pin_id, tables=tables,
                 layouts=layouts, lsn=self._lsn,
+                created_at=time.monotonic(),
             )
             self._next_pin_id += 1
             self._pins[pin.pin_id] = pin
@@ -227,14 +241,28 @@ class TransactionManager:
                 return len(self._pins)
             return self._pin_counts.get(table, 0)
 
+    def oldest_pin_age(self, table: str | None = None) -> float:
+        """Seconds since the oldest live pin (covering ``table``, or any
+        table) was taken; 0.0 when none are live. The scheduler uses
+        this to flag stuck clients whose pins stall maintenance."""
+        now = time.monotonic()
+        with self._pin_lock:
+            ages = [
+                now - pin.created_at
+                for pin in self._pins.values()
+                if table is None or table in pin.tables
+            ]
+        return max(ages, default=0.0)
+
     # -- transaction lifecycle ------------------------------------------------------
 
     def begin(self) -> Transaction:
         txn = Transaction(self, self._next_txn_id, start_lsn=self._lsn)
         self._next_txn_id += 1
         self._running[txn.txn_id] = txn
-        # Pin non-empty write-PDT snapshots now: later commits must not
-        # leak into this transaction's view.
+        # Loan non-empty write-PDT snapshots now: later commits must not
+        # leak into this transaction's view (they swing the master to a
+        # copy instead of mutating a loaned object).
         for name, state in self._tables.items():
             if not state.write_pdt.is_empty():
                 txn._snapshots[name] = self.write_snapshot(
@@ -286,14 +314,24 @@ class TransactionManager:
                 raise conflict
             return
 
+        ticket = None
         if trans_pdts:
             self._lsn += 1
             for name, pdt in trans_pdts.items():
                 state = self.state_of(name)
-                propagate_batch(state.write_pdt, pdt)
+                if self._write_pdt_shared(name, state):
+                    # The master is loaned out (a running transaction or
+                    # live pin reads it): propagate into a copy and swing
+                    # the master, leaving every loan untouched.
+                    fresh = state.write_pdt.copy()
+                    propagate_batch(fresh, pdt)
+                    state.write_pdt = fresh
+                    self.stats.snapshot_copies += 1
+                else:
+                    propagate_batch(state.write_pdt, pdt)
                 state.last_commit_lsn = self._lsn
                 self.stats.propagations += 1
-            self.wal.append_commit(self._lsn, trans_pdts)
+            ticket = self.wal.append_commit(self._lsn, trans_pdts)
             if self._running:
                 self._tz.append(
                     _CommitRecord(
@@ -307,6 +345,56 @@ class TransactionManager:
         if trans_pdts:
             for listener in self._commit_listeners:
                 listener(list(trans_pdts))
+        if ticket is not None:
+            # Group commit: the record is staged, not yet fsynced. Wait
+            # here (after listeners — a listener-triggered checkpoint
+            # rewrite resolves staged tickets itself) unless this thread
+            # deferred durability to overlap waits across writers.
+            if getattr(self._deferred, "active", False):
+                self._deferred.ticket = ticket
+            else:
+                self.wal.wait_durable(ticket)
+
+    def _write_pdt_shared(self, name: str, state: TableState) -> bool:
+        """Is the master Write-PDT loaned to anyone who must not see the
+        commit being propagated? (The committer itself is already off the
+        running list when this is asked.) Empty masters are never loaned:
+        ``write_snapshot`` returns None for them."""
+        current = state.write_pdt
+        if current.is_empty():
+            return False
+        for txn in self._running.values():
+            if txn._snapshots.get(name) is current:
+                return True
+        with self._pin_lock:
+            for pin in self._pins.values():
+                pinned = pin.tables.get(name)
+                if pinned is not None and pinned.write_pdt is current:
+                    return True
+        return False
+
+    # -- durability deferral (group-commit write path) -------------------------
+
+    @contextlib.contextmanager
+    def defer_durability(self):
+        """Within the block, this thread's commits stage their WAL record
+        but do not wait for the shared group fsync; the caller collects
+        the ticket with :meth:`take_deferred_ticket` and waits outside
+        its critical section. Without group commit (or on non-durable
+        logs) commits behave exactly as before and the ticket is None."""
+        self._deferred.active = True
+        self._deferred.ticket = None
+        try:
+            yield
+        finally:
+            self._deferred.active = False
+
+    def take_deferred_ticket(self):
+        """The ticket stashed by the last deferred commit on this thread
+        (None when it needed no wait); clears the stash."""
+        ticket = getattr(self._deferred, "ticket", None)
+        self._deferred.ticket = None
+        return ticket
 
     # -- reads outside transactions ---------------------------------------------------
 
@@ -327,7 +415,7 @@ class TransactionManager:
         """Migrate the master Write-PDT into the Read-PDT (section 3.3).
 
         Requires a quiescent point: running transactions hold Write-PDT
-        snapshot copies whose contents would be double-applied if the
+        snapshot loans whose contents would be double-applied if the
         shared Read-PDT absorbed them mid-flight.
         """
         if self._running:
@@ -338,13 +426,15 @@ class TransactionManager:
         if state.write_pdt.is_empty():
             return
         if self.is_pinned(table):
-            # A live pin references this Read-PDT (and holds a copy of the
-            # Write-PDT about to fold into it): migrate into a fresh copy
-            # so the pinned stack keeps describing the pinned version.
+            # A live pin references this Read-PDT (and loans the Write-PDT
+            # about to fold into it): migrate into a fresh copy so the
+            # pinned stack keeps describing the pinned version.
             state.read_pdt = state.read_pdt.copy()
         propagate_batch(state.read_pdt, state.write_pdt)
+        # Swing, don't clear: the old Write-PDT object may still be loaned
+        # to a pin, and its contents now live in the (possibly copied)
+        # Read-PDT of the *new* stack only.
         state.write_pdt = PDT(state.schema)
-        self._snapshot_cache.pop(table, None)
         self.stats.propagations += 1
 
     def maybe_propagate(self, table: str, write_limit_bytes: int) -> bool:

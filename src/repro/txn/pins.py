@@ -6,23 +6,24 @@ shards can be captured on either side of a commit, so a concurrent writer
 can tear a logical table's image across shards. A :class:`SnapshotPin`
 fixes the whole database at one commit point instead: for every physical
 table it captures the stable image, the Read-PDT (by reference), a
-Write-PDT *copy* (through the same snapshot-cache machinery transactions
-use, so pins taken under one commit LSN share the copy), the stale sparse
-index, and the table's last-commit LSN — together a per-table/per-shard
+Write-PDT snapshot *loan* (the master by reference, through the same
+loan machinery transaction starts use — commits propagate copy-on-commit
+while it is loaned, so the object never changes under the pin), the stale
+sparse index, and the table's last-commit LSN — together a per-table/per-shard
 LSN vector naming exactly one version of the database. For sharded
 logical tables the shard layout (boundaries + shard names) is captured
 too, so a pinned reader keeps routing against the layout it pinned even
 while the rebalancer restructures the live table.
 
 Pinned state stays valid because every mutation of committed layers is
-either *by replacement* (commit folds into the Write-PDT, which pins hold
-copies of; checkpoints install fresh stable/PDT objects) or made
-pin-aware:
+*by replacement* (a commit on a pinned table propagates into a copy and
+swings the master Write-PDT to it; checkpoints install fresh stable/PDT
+objects) or made pin-aware:
 
 * ``propagate_write_to_read`` copies-on-write the Read-PDT while the
   table is pinned, so the pinned reference never absorbs the Write-PDT a
-  pin already holds a copy of (the checkpoint scheduler additionally
-  *defers* folds on pinned tables until pins drain);
+  pin loans (the checkpoint scheduler additionally *defers* folds on
+  pinned tables until pins drain);
 * checkpoints detach the outgoing stable image from block storage before
   dropping its blocks, so pinned readers fall back to the retained
   in-memory image;
@@ -30,7 +31,7 @@ pin-aware:
   that captured them drain (shard names are never reused, so old and new
   images coexist in the block store).
 
-Pins are cheap (one Write-PDT copy per non-clean table, usually shared),
+Pins are cheap (reference captures only — no copies at pin time),
 require no quiescence, and are the unit of consistency the async query
 service hands every streaming cursor.
 """
@@ -52,7 +53,7 @@ class PinnedTable:
     name: str
     stable: object
     read_pdt: object
-    write_pdt: object  # copy, or None when empty at pin time
+    write_pdt: object  # loaned master, or None when empty at pin time
     sparse_index: object
     lsn: int
 
@@ -88,6 +89,7 @@ class SnapshotPin:
     tables: dict  # physical name -> PinnedTable
     layouts: dict = field(default_factory=dict)  # logical -> PinnedLayout
     lsn: int = 0
+    created_at: float = 0.0  # time.monotonic() at pin time (age tracking)
     released: bool = False
 
     def table(self, name: str) -> PinnedTable:

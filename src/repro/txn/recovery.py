@@ -134,7 +134,10 @@ def recover_persistent(db) -> int:
     wal_path = db.manager.wal.path
     if wal_path is not None and os.path.exists(wal_path):
         wal = WriteAheadLog.load(wal_path)
-        wal.fsync = db.manager.wal.fsync
+        # Carry the configured runtime (fsync, stripe count, group-commit
+        # policy) onto the loaded log; a stripe-layout change collapses
+        # the on-disk files to match.
+        wal.adopt_runtime(db.manager.wal)
     else:
         wal = db.manager.wal
 

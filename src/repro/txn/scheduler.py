@@ -34,6 +34,7 @@ combining several triggers).
 from __future__ import annotations
 
 import enum
+import logging
 from dataclasses import dataclass, field
 
 from .checkpoint import checkpoint_table, checkpoint_table_range
@@ -279,6 +280,11 @@ class SchedulerStats:
     range_checkpoints: int = 0
     entries_folded: int = 0
     deferrals: int = 0
+    # Pin-driven deferral visibility: a stuck client holding a pin stalls
+    # maintenance silently otherwise (see ``max_pin_age_s``).
+    pin_deferrals: int = 0
+    overdue_pin_warnings: int = 0
+    oldest_pin_age_s: float = 0.0  # oldest pin age seen at a deferral
 
 
 class CheckpointScheduler:
@@ -293,9 +299,11 @@ class CheckpointScheduler:
     interleaving of maintenance with the workload).
     """
 
-    def __init__(self, manager: TransactionManager, policy: CheckpointPolicy):
+    def __init__(self, manager: TransactionManager, policy: CheckpointPolicy,
+                 max_pin_age_s: float | None = None):
         self.manager = manager
         self.policy = policy
+        self.max_pin_age_s = max_pin_age_s
         self.stats = SchedulerStats()
         self._commits_since: dict[str, int] = {}
         self._pending: dict[str, Decision] = {}
@@ -387,6 +395,20 @@ class CheckpointScheduler:
             # would rewrite state a live reader depends on — defer until
             # the next quiescent, pin-free point.
             self.stats.deferrals += 1
+            if self.manager.is_pinned(table):
+                self.stats.pin_deferrals += 1
+                age = self.manager.oldest_pin_age(table)
+                self.stats.oldest_pin_age_s = max(
+                    self.stats.oldest_pin_age_s, age)
+                if self.max_pin_age_s is not None \
+                        and age > self.max_pin_age_s:
+                    self.stats.overdue_pin_warnings += 1
+                    logging.getLogger(__name__).warning(
+                        "maintenance on %r deferred by a pin held for "
+                        "%.1fs (max_pin_age_s=%.1fs); a stuck client may "
+                        "be stalling checkpoints",
+                        table, age, self.max_pin_age_s,
+                    )
             self._pending[table] = decision
             return False
         self._pending.pop(table, None)

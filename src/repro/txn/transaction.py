@@ -5,10 +5,12 @@ A transaction sees (equation (9))::
     TABLE = stable .Merge(Read-PDT) .Merge(Write-PDT snapshot) .Merge(Trans-PDT)
 
 The Read-PDT is shared by reference (only Propagate mutates it, and only
-when no snapshots are live); the Write-PDT snapshot is a copy taken at
-transaction start (shared between transactions that started under the same
-commit LSN); the Trans-PDT is private and collects this transaction's own
-updates, so later queries in the transaction see its earlier effects.
+when no snapshots are live); the Write-PDT snapshot is a reference *loan*
+of the master taken at transaction start (transactions that started under
+the same commit LSN share the same object; commits never mutate a loaned
+master in place — they propagate into a copy and replace it); the
+Trans-PDT is private and collects this transaction's own updates, so
+later queries in the transaction see its earlier effects.
 
 An optional fourth *Query-PDT* layer (paper footnote 5) buffers the updates
 of a single statement so the statement does not see its own changes

@@ -98,13 +98,27 @@ class TestPinBasics:
             assert db.query("u")["v"][0] == 123
             pin.release()
 
-    def test_pins_share_write_copies_at_one_lsn(self, sharded_db):
+    def test_pins_share_write_loans_at_one_lsn(self, sharded_db):
         db = sharded_db
         db.modify("t", (10,), "v", 5)  # non-empty Write-PDT
         copies_before = db.manager.stats.snapshot_copies
         a = db.pin_snapshot()
         b = db.pin_snapshot()
-        assert db.manager.stats.snapshot_copies == copies_before + 1
+        # Pinning loans the master Write-PDT by reference: both pins hold
+        # the same object and no copy is taken at pin time.
+        assert db.manager.stats.snapshot_copies == copies_before
+        shared = [
+            (a.tables[n].write_pdt, b.tables[n].write_pdt)
+            for n in a.tables if a.tables[n].write_pdt is not None
+        ]
+        assert shared and all(x is y for x, y in shared)
+        # A commit on a pinned shard must copy-on-commit, not mutate the
+        # loaned object under the pins.
+        before = snapshot_bytes(db, "t", pin=a)
+        db.modify("t", (10,), "v", 6)
+        assert db.manager.stats.snapshot_copies > copies_before
+        assert snapshot_bytes(db, "t", pin=a) == before
+        assert snapshot_bytes(db, "t", pin=b) == before
         a.release()
         b.release()
 

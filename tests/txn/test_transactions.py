@@ -120,10 +120,30 @@ class TestSnapshotIsolation:
         t2 = db.begin()
         t1.image_rows("t")
         t2.image_rows("t")
-        assert db.manager.stats.snapshot_copies == 1
-        assert db.manager.stats.snapshot_reuses >= 1
+        # Snapshots are reference loans of the master Write-PDT: same-epoch
+        # transactions share one object and nothing is copied at start.
+        assert t1._snapshots["t"] is t2._snapshots["t"]
+        assert db.manager.stats.snapshot_copies == 0
+        assert db.manager.stats.snapshot_reuses >= 2
         t1.abort()
         t2.abort()
+
+    def test_commit_copies_master_only_while_loaned(self):
+        db = make_db()
+        db.insert("t", (5, 1, "seed"))  # non-empty write-PDT
+        reader = db.begin()
+        loaned = reader._snapshots["t"]
+        assert loaned is db.manager.state_of("t").write_pdt
+        # A commit while the master is loaned swings it to a copy
+        # (copy-on-commit) instead of mutating the reader's object...
+        db.insert("t", (6, 1, "later"))
+        assert db.manager.stats.snapshot_copies == 1
+        assert db.manager.state_of("t").write_pdt is not loaned
+        assert (6, 1, "later") not in reader.image_rows("t")
+        reader.abort()
+        # ...and with no loans outstanding, commits fold in place.
+        db.insert("t", (7, 1, "unshared"))
+        assert db.manager.stats.snapshot_copies == 1
 
 
 class TestConflicts:
