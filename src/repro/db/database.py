@@ -87,6 +87,18 @@ class Database:
         When set, the checkpoint scheduler logs a warning (and counts
         ``overdue_pin_warnings``) whenever maintenance is deferred by a
         snapshot pin older than this — a stuck client made observable.
+    ``executor``
+        How fanned-out shard scans execute: ``"thread"`` (default — the
+        in-process pools, one core under the GIL) or ``"process"`` —
+        per-shard jobs are dispatched to :mod:`repro.exec` worker
+        processes that mmap the published segment files read-only and
+        stream result blocks back through shared memory. Process mode
+        needs ``storage="mmap"`` (it degrades to threads otherwise) and
+        falls back per-job for state that is not on disk. ``None``
+        consults ``REPRO_EXECUTOR``.
+    ``workers``
+        Process-pool size for ``executor="process"`` (default:
+        ``min(4, cpu_count)``).
     ``write_pdt_limit_bytes``
         Budget used by the manual :meth:`maintain` convenience.
     ``checkpoint_policy``
@@ -115,9 +127,18 @@ class Database:
         group_commit=True,
         wal_streams: int = 1,
         max_pin_age_s: float | None = None,
+        executor: str | None = None,
+        workers: int | None = None,
     ):
+        import os
+
+        from ..exec.router import ExecutorRouter
+
         self.io = IOStats()
         self.storage = resolve_storage(storage, storage_path)
+        exec_mode = executor or os.environ.get("REPRO_EXECUTOR") or "thread"
+        self.exec_router = ExecutorRouter(exec_mode, workers=workers,
+                                          storage=self.storage)
         self.store = BlockStore(compressed=compressed, block_rows=block_rows,
                                 backend=self.storage.open(MAIN_SCOPE))
         self.buffer_capacity = buffer_capacity
@@ -197,6 +218,8 @@ class Database:
         # Publish the loaded image now: on a durable backend the table
         # survives a kill from this point on (before any commit).
         self.store.set_image_lsn(stable.name, self.manager._lsn)
+        stable.image_lsn = self.manager._lsn
+        stable.image_epoch = self.store.table_epoch(stable.name)
         self.store.sync()
         self.manager.register_table(stable)
 
@@ -458,7 +481,9 @@ class Database:
         )
         with io_scope:
             rel = Relation.from_batches(
-                plan.columns, iter_plan_blocks(plan, block_rows=batch_rows)
+                plan.columns,
+                iter_plan_blocks(plan, block_rows=batch_rows,
+                                 router=self.exec_router),
             )
         if timer is not None:
             timer.add(table, time.perf_counter() - start)
@@ -647,6 +672,10 @@ class Database:
             service.close()
         for sharded in self._sharded.values():
             sharded.close()
+        # Reap executor worker processes (join, then terminate stragglers)
+        # before storage goes away — no orphans, and no worker left
+        # mapping segment files a shutdown sweep might touch.
+        self.exec_router.close()
         # Clean shutdown is a durability point: publish every backend's
         # catalog before releasing file handles.
         self.storage.close()

@@ -135,9 +135,20 @@ def fanout_scan_blocks(sources, executor=None):
     With an executor every partition's stream is materialized inside its
     worker; block *contents* are untouched either way (pass-through arrays
     stay pass-through).
+
+    An executor exposing ``submit_stream`` (the multiprocess
+    :class:`repro.exec.router.ExecutorRouter`) gets the source object
+    itself, so it can ship the partition to a worker process when the
+    source carries remote identity (see :class:`repro.exec.ScanSource`)
+    instead of running the thunk on a thread.
     """
     if executor is not None:
-        futures = [executor.submit(lambda s=s: list(s())) for s in sources]
+        submit_stream = getattr(executor, "submit_stream", None)
+        if submit_stream is not None:
+            futures = [submit_stream(s) for s in sources]
+        else:
+            futures = [executor.submit(lambda s=s: list(s()))
+                       for s in sources]
         parts = (future.result() for future in futures)
     else:
         parts = (source() for source in sources)

@@ -1,0 +1,69 @@
+"""Pin-vector serialization: shipping a pinned shard version to a worker.
+
+A snapshot pin names one version of a physical table as (stable image
+LSN, Read-PDT, Write-PDT): the stable image is *already on disk* — the
+mmap backend published it under its ``image_lsn`` — so only the delta
+layers travel. They are exported with the same bulk entry-list format
+the WAL uses for commit records (``(sid, kind, payload)`` triples in
+(SID, RID) order) and rebuilt worker-side with ``bulk_append_entries``,
+the exact round-trip WAL replay already relies on. Payloads ride the job
+pipe (pickled — they are small, proportional to delta size, not table
+size), never the block ring.
+"""
+
+from __future__ import annotations
+
+from ..core.pdt import PDT
+from ..core.types import KIND_DEL
+
+
+def serialize_layers(layers) -> list[list]:
+    """Entry lists for each non-empty PDT layer, in merge order."""
+    from ..txn.wal import WriteAheadLog
+
+    return [
+        WriteAheadLog._serialize_pdt(layer)
+        for layer in layers
+        if layer is not None and not layer.is_empty()
+    ]
+
+
+def rebuild_layers(schema, serialized: list[list]) -> list[PDT]:
+    """Inverse of :func:`serialize_layers`: fresh PDTs over ``schema``.
+
+    Mirrors WAL replay's staging construction (delete payloads are
+    SK tuples; bulk append builds the tree bottom-up in one pass).
+    """
+    layers = []
+    for entries in serialized:
+        pdt = PDT(schema)
+        pdt.bulk_append_entries(
+            (sid, kind, tuple(payload) if kind == KIND_DEL else payload)
+            for sid, kind, payload in entries
+        )
+        layers.append(pdt)
+    return layers
+
+
+def scan_payload(root, table: str, image_lsn: int, epoch: int, layers,
+                 columns, sid_lo, sid_hi, block_rows: int) -> dict:
+    """The complete job payload for one remote shard scan.
+
+    ``root`` is the shard scope's backend directory (the worker opens it
+    read-only and verifies the published catalog still carries exactly
+    the ``(image_lsn, epoch)`` pair before trusting the layers to be
+    relative to it — the LSN ties the image to the pinned commit point,
+    the segment epoch disambiguates republishes at one LSN).
+    """
+    return {
+        "root": str(root),
+        "table": table,
+        "image_lsn": int(image_lsn),
+        "epoch": int(epoch),
+        "layers": serialize_layers(layers),
+        "columns": list(columns),
+        "sid_lo": sid_lo,
+        "sid_hi": sid_hi,
+        "block_rows": block_rows,
+        "skip": 0,
+    }

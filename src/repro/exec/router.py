@@ -1,0 +1,419 @@
+"""ExecutorRouter: per-job dispatch to shard workers, thread fallback.
+
+The router is the single decision point every parallel scan path goes
+through — ``ShardedTable.scan_blocks``, the pinned-plan fan-out, and the
+query service's per-shard jobs. For each job it asks: *is this shard's
+pinned version on disk where a worker process can mmap it?* If yes (mmap
+backend, stable image still storage-attached, published ``image_lsn``
+matching the pinned one, and enough rows to be worth a hop), the job is
+serialized as a pin vector and dispatched to a :class:`ShardWorker`
+process; otherwise it runs on the calling thread exactly as before. The
+fallback is silent and per-job, so ``Database(executor="process")`` is
+always safe — memory-backed databases, unpublished checkpoints, and
+tiny tables simply stay on threads.
+
+Crash isolation: a worker that dies mid-job (detected by pipe EOF or a
+dead process with a drained pipe) is reaped and replaced; the in-flight
+job is re-dispatched with ``skip=<blocks already delivered>`` — pinned
+scans are deterministic, so the replacement (or, after
+``max_redispatch`` deaths, the thread fallback) continues the byte
+stream exactly where the dead worker left it. The database keeps
+serving; nothing above the router notices beyond latency.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from .pinvec import scan_payload
+from .transport import DEFAULT_RING_BYTES, ShmRingReader
+
+DEFAULT_WORKERS = 4
+#: Below this many stable rows a process hop costs more than it saves.
+MIN_REMOTE_ROWS = 2048
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died while a job was in flight."""
+
+
+class StaleImage(RuntimeError):
+    """The worker's published catalog does not carry the pinned image."""
+
+
+class _WorkerHandle:
+    """One spawned worker process + its pipe and block ring."""
+
+    _ids = itertools.count()
+
+    def __init__(self, ring_bytes: int):
+        import multiprocessing as mp
+
+        from .worker import worker_main
+
+        ctx = mp.get_context("spawn")
+        self.reader = ShmRingReader(ring_bytes)
+        self.conn, child_conn = ctx.Pipe()
+        self.proc = ctx.Process(
+            target=worker_main,
+            args=(child_conn, self.reader.name, ring_bytes),
+            name=f"repro-shard-worker-{next(self._ids)}",
+            daemon=True,
+        )
+        self.proc.start()
+        child_conn.close()
+        self._job_ids = itertools.count()
+        self.dead = False
+
+    @property
+    def pid(self):
+        return self.proc.pid
+
+    def run_job(self, payload: dict):
+        """Dispatch one scan job; yield ``(first_rid, arrays)`` blocks.
+
+        Raises :class:`StaleImage` (job not runnable remotely, worker
+        fine) or :class:`WorkerCrashed` (worker died; caller re-dispatches
+        with the delivered-block count)."""
+        job_id = next(self._job_ids)
+        try:
+            self.conn.send(("scan", job_id, payload))
+        except (OSError, BrokenPipeError):
+            self.dead = True
+            raise WorkerCrashed("pipe to worker is gone") from None
+        while True:
+            try:
+                if not self.conn.poll(0.05):
+                    if not self.proc.is_alive() and not self.conn.poll(0):
+                        self.dead = True
+                        raise WorkerCrashed(
+                            f"worker pid={self.pid} died mid-job"
+                        )
+                    continue
+                msg = self.conn.recv()
+            except (EOFError, OSError):
+                self.dead = True
+                raise WorkerCrashed(
+                    f"worker pid={self.pid} died mid-job") from None
+            op = msg[0]
+            if op == "block":
+                _op, got_id, first_rid, frame = msg
+                if got_id != job_id:
+                    continue  # tail of an abandoned predecessor job
+                yield first_rid, self.reader.decode(frame)
+            elif op == "done":
+                if msg[1] == job_id:
+                    return
+            elif op == "stale":
+                if msg[1] == job_id:
+                    raise StaleImage(msg[2])
+            elif op == "error":
+                if msg[1] == job_id:
+                    raise RuntimeError(f"shard worker failed: {msg[2]}")
+
+    def close(self, timeout: float = 2.0) -> None:
+        self.dead = True
+        try:
+            self.conn.send(("close",))
+        except (OSError, BrokenPipeError):
+            pass
+        self.proc.join(timeout)
+        if self.proc.is_alive():
+            self.proc.terminate()
+            self.proc.join(timeout)
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+        self.reader.close()
+        self.proc.close()
+
+
+class ScanSource:
+    """One partition's scan: a local thunk plus optional remote identity.
+
+    Callable (runs the local block pipeline — any plain executor can
+    ``submit(lambda: list(source()))`` it), and carries the pinned-state
+    references the router needs to build a pin-vector payload at
+    dispatch time.
+    """
+
+    __slots__ = ("local", "stable", "layers", "columns", "sid_lo",
+                 "sid_hi", "block_rows")
+
+    def __init__(self, local, stable=None, layers=(), columns=(),
+                 sid_lo=0, sid_hi=None, block_rows=1024):
+        self.local = local
+        self.stable = stable
+        self.layers = tuple(layers)
+        self.columns = tuple(columns)
+        self.sid_lo = sid_lo
+        self.sid_hi = sid_hi
+        self.block_rows = block_rows
+
+    def __call__(self):
+        return self.local()
+
+
+class ExecutorRouter:
+    """Routes per-shard scan jobs to worker processes or threads.
+
+    ``mode`` is ``"thread"`` (every job local — the pre-existing
+    behaviour, zero overhead) or ``"process"``. Workers are spawned
+    lazily on first eligible dispatch, so a process-mode database that
+    never scans a big mmap table never forks anything.
+    """
+
+    def __init__(self, mode: str = "thread", workers: int | None = None,
+                 storage=None, ring_bytes: int = DEFAULT_RING_BYTES,
+                 min_remote_rows: int = MIN_REMOTE_ROWS,
+                 dispatch_timeout: float = 30.0,
+                 max_redispatch: int = 2):
+        if mode not in ("thread", "process"):
+            raise ValueError(f"unknown executor mode {mode!r}")
+        if mode == "process" and not self._storage_supported(storage):
+            # Memory (or custom non-mmap) storage has nothing a worker
+            # could mmap; degrade silently so REPRO_EXECUTOR=process is
+            # safe across the whole matrix.
+            mode = "thread"
+        self.mode = mode
+        self.workers = max(1, workers if workers is not None
+                           else min(DEFAULT_WORKERS, os.cpu_count() or 1))
+        self.ring_bytes = ring_bytes
+        self.min_remote_rows = min_remote_rows
+        self.dispatch_timeout = dispatch_timeout
+        self.max_redispatch = max_redispatch
+        self.block_delay_s = 0.0  # test hook: per-block worker-side sleep
+        self._handles: list[_WorkerHandle] = []
+        self._free: queue.Queue = queue.Queue()
+        self._spawned = 0
+        self._lock = threading.Lock()
+        self._pool: ThreadPoolExecutor | None = None
+        self._closed = False
+        # observability ----------------------------------------------------
+        self.remote_jobs = 0
+        self.local_jobs = 0
+        self.redispatches = 0
+        self.stale_fallbacks = 0
+
+    @staticmethod
+    def _storage_supported(storage) -> bool:
+        from ..storage.mmap_backend import MmapStorage
+
+        return isinstance(storage, MmapStorage)
+
+    # -- worker pool -------------------------------------------------------
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of live workers (crash-injection tests kill these)."""
+        with self._lock:
+            return [h.pid for h in self._handles if not h.dead]
+
+    def _checkout(self):
+        if self.mode != "process" or self._closed:
+            return None
+        with self._lock:
+            if self._closed:
+                return None
+            if self._spawned < self.workers:
+                self._spawned += 1
+                try:
+                    handle = _WorkerHandle(self.ring_bytes)
+                except BaseException:
+                    self._spawned -= 1
+                    raise
+                self._handles.append(handle)
+                return handle
+        try:
+            handle = self._free.get(timeout=self.dispatch_timeout)
+        except queue.Empty:
+            return None
+        if handle is None or handle.dead:  # close() drained, or raced
+            return None
+        return handle
+
+    def _checkin(self, handle) -> None:
+        if handle.dead:
+            with self._lock:
+                if handle in self._handles:
+                    self._handles.remove(handle)
+                self._spawned -= 1
+            handle.close(timeout=0.5)
+            return
+        if self._closed:
+            return
+        self._free.put(handle)
+
+    # -- payloads ----------------------------------------------------------
+
+    def payload_for(self, stable, layers, columns, sid_lo, sid_hi,
+                    block_rows, image_lsn=None) -> dict | None:
+        """A pin-vector job payload, or None when the job must stay
+        local: thread mode, detached stable (a checkpoint retired the
+        on-disk image), non-mmap scope, unpublished/mismatched image
+        LSN, or a table too small to be worth the hop."""
+        if self.mode != "process" or self._closed:
+            return None
+        pool = getattr(stable, "pool", None)
+        if pool is None or stable.num_rows < self.min_remote_rows:
+            return None
+        from ..storage.mmap_backend import MmapFileBackend
+
+        backend = pool.store.backend
+        if not isinstance(backend, MmapFileBackend):
+            return None
+        if image_lsn is None:
+            # The LSN stamped on the object when *this* image was
+            # published — never the store's current value, which a
+            # concurrent checkpoint may already have moved past.
+            image_lsn = getattr(stable, "image_lsn", None)
+        epoch = getattr(stable, "image_epoch", None)
+        if image_lsn is None or epoch is None:
+            return None
+        payload = scan_payload(
+            backend.root, stable.name, image_lsn, epoch, layers, columns,
+            sid_lo, sid_hi, block_rows,
+        )
+        if self.block_delay_s:
+            payload["block_delay_s"] = self.block_delay_s
+        return payload
+
+    # -- job execution -----------------------------------------------------
+
+    def stream_blocks(self, payload: dict, local):
+        """Run one job remotely with crash re-dispatch; yield its blocks.
+
+        ``local`` is the zero-argument thread fallback returning the same
+        deterministic block stream. ``delivered`` blocks already yielded
+        to the consumer are skipped on every re-run, so the output is
+        byte-identical whether zero, one, or every worker died."""
+        delivered = 0
+        deaths = 0
+        use_local = False
+        while not use_local:
+            handle = self._checkout()
+            if handle is None:
+                break
+            try:
+                for block in handle.run_job(dict(payload, skip=delivered)):
+                    yield block
+                    delivered += 1
+                self.remote_jobs += 1
+                return
+            except StaleImage:
+                self.stale_fallbacks += 1
+                use_local = True
+            except WorkerCrashed:
+                deaths += 1
+                self.redispatches += 1
+                if deaths > self.max_redispatch:
+                    use_local = True
+            finally:
+                self._checkin(handle)
+        self.local_jobs += 1
+        for i, block in enumerate(local()):
+            if i >= delivered:
+                yield block
+
+    def run_source(self, source) -> list:
+        """Materialize one :class:`ScanSource` (remote when eligible)."""
+        payload = self.payload_for(
+            source.stable, source.layers, source.columns,
+            source.sid_lo, source.sid_hi, source.block_rows,
+        )
+        if payload is None:
+            self.local_jobs += 1
+            return list(source())
+        return list(self.stream_blocks(payload, source.local))
+
+    def submit_stream(self, source):
+        """Executor hook for :func:`~repro.engine.scan.fanout_scan_blocks`:
+        a future resolving to the source's materialized block list."""
+        try:
+            return self._driver_pool().submit(self.run_source, source)
+        except RuntimeError:
+            # Lost a race with close(): run inline on the caller's thread
+            # (every job is local once closed), like the pre-router path.
+            future: Future = Future()
+            try:
+                future.set_result(self.run_source(source))
+            except BaseException as exc:
+                future.set_exception(exc)
+            return future
+
+    def spec_runner(self):
+        """The per-shard job runner the query service installs, or None
+        in thread mode (the scheduler then keeps its zero-cost default).
+        The runner signature matches ``ShardScanJob``'s contract:
+        ``runner(spec, sid_lo, sid_hi, block_rows) -> block iterable``."""
+        if self.mode != "process":
+            return None
+
+        def run(spec, sid_lo, sid_hi, block_rows):
+            pinned = spec.pinned
+            payload = self.payload_for(
+                pinned.stable, pinned.layers, spec.scan_cols,
+                sid_lo, sid_hi, block_rows,
+                image_lsn=getattr(pinned, "image_lsn", None),
+            )
+            if payload is None:
+                self.local_jobs += 1
+                return spec.stream(sid_lo, sid_hi, block_rows)
+            return self.stream_blocks(
+                payload, lambda: spec.stream(sid_lo, sid_hi, block_rows))
+
+        return run
+
+    def fanout_executor(self):
+        """Executor for block fan-out: the router itself in process mode
+        (callers fall back to their own thread pools on None, including
+        after close — a closed database that still serves reads keeps
+        the pre-router thread behaviour)."""
+        return self if self.mode == "process" and not self._closed else None
+
+    def _driver_pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                if self._closed:
+                    raise RuntimeError("executor router is closed")
+                # One driver thread per worker plus slack for local
+                # fallbacks; drivers mostly block on worker pipes.
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers + 2,
+                    thread_name_prefix="exec-router",
+                )
+            return self._pool
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Join and reap every worker process (idempotent): drivers are
+        joined first so no job is mid-pipe, then each worker gets a
+        close message, a join, and a terminate if it ignores both; ring
+        segments are unlinked. No orphaned children survive."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+            handles, self._handles = self._handles, []
+        if pool is not None:
+            pool.shutdown(wait=True)
+        while True:  # unblock any checkout still waiting on the queue
+            try:
+                self._free.get_nowait()
+            except queue.Empty:
+                break
+        for handle in handles:
+            handle.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ExecutorRouter(mode={self.mode!r}, workers={self.workers}, "
+            f"remote={self.remote_jobs}, local={self.local_jobs}, "
+            f"redispatched={self.redispatches})"
+        )

@@ -1,0 +1,169 @@
+"""The shard worker process: read-only scans over mmap'd segments.
+
+``worker_main`` is the (spawn-safe, importable) entry point of one
+:class:`ShardWorker` process. The worker owns nothing: it opens shard
+storage scopes **read-only** (no writer lock, no orphan sweep, writes
+rejected), rebuilds the pinned snapshot from the job's serialized pin
+vector, and runs the very same ``scan_pdt_blocks`` pipeline the parent
+would have run on a thread. Result blocks go out through the shared
+ring (:mod:`repro.exec.transport`); only control frames cross the pipe.
+
+Stable images are cached per ``(scope root, table)`` keyed by the
+published ``(image_lsn, segment epoch)`` pair, so repeated jobs against
+one pinned version pay the block decode once. The epoch matters: a
+checkpoint that runs without an intervening commit republishes the same
+table name at the *same* LSN, and only the never-reused epoch tells the
+two images apart. A job whose pair does not match the published catalog
+answers ``stale`` — the parent falls back to its thread path (the pinned
+version is simply not on disk, e.g. the pin straddled an unpublished
+checkpoint) — never a wrong result.
+
+Crash contract: the parent counts delivered blocks per job. Because a
+pinned scan is deterministic (same payload -> identical block sequence),
+a re-dispatched job carries ``skip=N`` and the replacement worker
+re-runs the stream, suppressing the first N blocks — the consumer's
+byte stream continues exactly where the dead worker left it.
+"""
+
+from __future__ import annotations
+
+import time
+
+from .pinvec import rebuild_layers
+from .transport import ShmRingWriter
+
+
+class _Stale(Exception):
+    """Published catalog does not carry the requested image version."""
+
+
+class _ScopeCache:
+    """Per-worker cache of read-only storage scopes and stable images."""
+
+    def __init__(self):
+        self._backends: dict[str, object] = {}  # root -> MmapFileBackend
+        self._tables: dict = {}  # (root, table) -> ((lsn, epoch), stable, pool)
+
+    def _open(self, root: str, fresh: bool = False):
+        from ..storage.mmap_backend import MmapFileBackend
+
+        backend = None if fresh else self._backends.get(root)
+        if backend is None:
+            old = self._backends.pop(root, None)
+            if old is not None:
+                old.close()
+            backend = MmapFileBackend(root, readonly=True)
+            self._backends[root] = backend
+        return backend
+
+    def stable_for(self, payload: dict):
+        """The stable image + buffer pool for a job's pinned version."""
+        from ..storage.blocks import BlockStore
+        from ..storage.buffer import BufferPool
+        from ..storage.table import StableTable
+
+        root, table = payload["root"], payload["table"]
+        want = (payload["image_lsn"], payload["epoch"])
+        cached = self._tables.get((root, table))
+        if cached is not None and cached[0] == want:
+            return cached[1], cached[2]
+        # Cache miss or version moved on: reopen the scope so the check
+        # runs against the *currently published* catalog, not a stale map.
+        backend = self._open(root, fresh=cached is not None)
+        have_lsn = backend.get_table_meta(table).get("image_lsn")
+        have = (None if have_lsn is None else int(have_lsn),
+                backend.table_epoch(table))
+        if None in have or have != want:
+            raise _Stale(
+                f"{table}: published image (lsn, epoch) {have} "
+                f"!= pinned {want}"
+            )
+        store = BlockStore(backend=backend)
+        pool = BufferPool(store)
+        schema = store.table_schema(table)
+        if schema is None:
+            raise _Stale(f"{table}: no schema in published catalog")
+        stable = StableTable.from_storage(table, schema, pool)
+        self._tables[(root, table)] = (want, stable, pool)
+        return stable, pool
+
+    def close(self) -> None:
+        for backend in self._backends.values():
+            backend.close()
+        self._backends.clear()
+        self._tables.clear()
+
+
+def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
+             payload: dict) -> None:
+    from ..engine.scan import scan_pdt_blocks
+
+    stable, _pool = cache.stable_for(payload)
+    layers = rebuild_layers(stable.schema, payload["layers"])
+    stop = payload["sid_hi"]
+    stream = scan_pdt_blocks(
+        stable, layers, columns=payload["columns"],
+        start=payload["sid_lo"],
+        stop=None if stop is None else stop,
+        block_rows=payload["block_rows"],
+    )
+    skip = payload.get("skip", 0)
+    delay = payload.get("block_delay_s") or 0.0
+    produced = 0
+    for first_rid, arrays in stream:
+        produced += 1
+        if produced <= skip:
+            continue
+        if delay:
+            time.sleep(delay)  # test hook: widen the mid-scan kill window
+        frame = ring.try_write(arrays) if ring is not None else None
+        if frame is None:
+            # Ring full (a slow consumer pins the oldest frames) or
+            # object-only block: ship inline. Slower, never stuck.
+            conn.send(("block", job_id, first_rid,
+                       {"off": 0, "end": 0, "cols": [], "inline": arrays}))
+        else:
+            conn.send(("block", job_id, first_rid, frame))
+    conn.send(("done", job_id, produced))
+
+
+def worker_main(conn, ring_name: str | None, ring_capacity: int) -> None:
+    """Process entry point: serve scan jobs until ``close`` or EOF."""
+    ring = (
+        ShmRingWriter(ring_name, ring_capacity)
+        if ring_name is not None else None
+    )
+    cache = _ScopeCache()
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                break
+            op = msg[0]
+            if op == "close":
+                break
+            if op == "ping":
+                conn.send(("pong",))
+                continue
+            if op != "scan":
+                conn.send(("error", None, f"unknown op {op!r}"))
+                continue
+            _op, job_id, payload = msg
+            try:
+                _run_job(cache, ring, conn, job_id, payload)
+            except _Stale as exc:
+                conn.send(("stale", job_id, str(exc)))
+            except BaseException as exc:
+                try:
+                    conn.send(("error", job_id, repr(exc)))
+                except (OSError, BrokenPipeError):
+                    break
+    finally:
+        cache.close()
+        if ring is not None:
+            ring.close()
+        try:
+            conn.close()
+        except OSError:
+            pass

@@ -5,14 +5,28 @@ The service decomposes every read request into one job per shard (the
 of sharing: a :class:`ShardScanJob` carries a list of consumer feeds, and
 any request whose spec reads the same pinned version
 (:attr:`~repro.service.plan.ShardScanSpec.share_key`) can attach to a job
-that has not started yet instead of scheduling its own scan. The job then
-runs one MergeScan over the union of its consumers' SID ranges and pushes
-every block to every feed — the cooperative-scans idea (Zukowski et al.'s
-X100 lineage, the same system family as the paper): under concurrent
-skewed analytics most requests want the same hot blocks, so one physical
-scan amortizes across all of them. Each consumer's own key filter discards
-whatever the union over-scans, which is what makes attach-with-extension
-unconditionally safe.
+instead of scheduling its own scan. The job then runs one MergeScan over
+the union of its consumers' SID ranges and pushes every block to every
+feed — the cooperative-scans idea (Zukowski et al.'s X100 lineage, the
+same system family as the paper): under concurrent skewed analytics most
+requests want the same hot blocks, so one physical scan amortizes across
+all of them. Each consumer's own key filter discards whatever the union
+over-scans, which is what makes attach-with-extension unconditionally
+safe.
+
+Attachment works *mid-scan* too: a compatible consumer arriving after the
+job started (whose range the already-frozen union covers) gets a
+:class:`DeferredFeed` — it rides along for the remaining blocks, which
+buffer while a small *catch-up* sub-scan re-reads the deterministic
+prefix it missed; once the prefix is delivered the buffered tail flushes
+and the consumer has the exact full stream. Only a consumer arriving
+after the scan finished (or needing rows outside the frozen union)
+schedules a fresh job.
+
+Jobs execute through a pluggable ``runner`` — by default the spec's own
+in-thread block pipeline; a process-mode database installs the
+:class:`~repro.exec.router.ExecutorRouter`'s runner so the same job (and
+its catch-up sub-scans) stream from a shard worker process instead.
 
 Feeds are unbounded: a job never blocks on a slow consumer (so job workers
 cannot deadlock), and memory stays bounded because admission control
@@ -70,18 +84,76 @@ class ShardFeed:
             yield item
 
 
-class ShardScanJob:
-    """One scheduled scan of one shard's pinned version, multi-consumer."""
+class DeferredFeed(ShardFeed):
+    """A feed attached mid-scan: live items buffer until the catch-up
+    sub-scan primes the prefix the consumer missed, keeping the
+    consumer's stream in exact block order."""
 
-    def __init__(self, spec, block_rows: int):
+    def __init__(self):
+        super().__init__()
+        self._buffer: list = []
+        self._state_lock = threading.Lock()
+        self._primed = False
+
+    def _enqueue_or_buffer(self, item) -> None:
+        with self._state_lock:
+            if not self._primed:
+                self._buffer.append(item)
+                return
+        self._queue.put(item)
+
+    def put(self, item) -> None:
+        self._enqueue_or_buffer(item)
+
+    def finish(self) -> None:
+        self._enqueue_or_buffer(_DONE)
+
+    def fail(self, exc: BaseException) -> None:
+        self._enqueue_or_buffer(exc)
+
+    def prime(self, prefix_blocks) -> None:
+        """Deliver the missed prefix, then flush whatever the live job
+        buffered in the meantime; later items flow straight through."""
+        with self._state_lock:
+            for block in prefix_blocks:
+                self._queue.put(block)
+            for item in self._buffer:
+                self._queue.put(item)
+            self._buffer = []
+            self._primed = True
+
+    def prime_failed(self, exc: BaseException) -> None:
+        """The catch-up sub-scan failed: the consumer's stream is
+        unrecoverable (its prefix is missing) even if the live job is
+        fine."""
+        with self._state_lock:
+            self._queue.put(exc)
+            self._buffer = []
+            self._primed = True
+
+
+class ShardScanJob:
+    """One scheduled scan of one shard's pinned version, multi-consumer.
+
+    ``runner(spec, sid_lo, sid_hi, block_rows) -> block iterable``
+    overrides how the union range is physically scanned (process-mode
+    dispatch); the default is the spec's in-thread pipeline. Either way
+    the stream over a pinned version is deterministic, which is what
+    makes mid-scan catch-up (and crash re-dispatch inside the router's
+    runner) exact.
+    """
+
+    def __init__(self, spec, block_rows: int, runner=None):
         self.spec = spec
         self.block_rows = block_rows
         self.sid_lo = spec.sid_lo
         self.sid_hi = spec.sid_hi
+        self._runner = runner
         self._feeds: list[ShardFeed] = [ShardFeed()]
         self._lock = threading.Lock()
         self._started = False
         self._finished = False
+        self._emitted = 0  # blocks fanned out so far (under _lock)
         self._done_callbacks: list = []
 
     @property
@@ -92,18 +164,60 @@ class ShardScanJob:
     def consumers(self) -> int:
         return len(self._feeds)
 
-    def try_attach(self, spec) -> ShardFeed | None:
-        """Join this job if it has not started: extend the scanned range
-        to the union and add a feed. Returns ``None`` once the scan is
-        underway (the caller then schedules its own job)."""
+    def _stream(self, sid_lo: int, sid_hi: int):
+        if self._runner is not None:
+            return self._runner(self.spec, sid_lo, sid_hi, self.block_rows)
+        return self.spec.stream(sid_lo, sid_hi, self.block_rows)
+
+    def try_attach(self, spec):
+        """Join this job; returns ``(feed, catch_up)``.
+
+        Before the scan starts, the union range extends to cover ``spec``
+        and the feed sees every block (``catch_up`` is None). Once
+        underway the union is frozen, so only a spec it already covers
+        can join: the feed buffers the remaining live blocks while
+        ``catch_up`` — run it on a worker thread — re-scans the missed
+        deterministic prefix and primes the feed. ``(None, None)`` means
+        the job cannot take the spec (finished, or range outside the
+        frozen union): schedule a fresh job.
+        """
         with self._lock:
-            if self._started:
-                return None
-            self.sid_lo = min(self.sid_lo, spec.sid_lo)
-            self.sid_hi = max(self.sid_hi, spec.sid_hi)
-            feed = ShardFeed()
+            if not self._started:
+                self.sid_lo = min(self.sid_lo, spec.sid_lo)
+                self.sid_hi = max(self.sid_hi, spec.sid_hi)
+                feed = ShardFeed()
+                self._feeds.append(feed)
+                return feed, None
+            if self._finished or spec.sid_lo < self.sid_lo \
+                    or spec.sid_hi > self.sid_hi:
+                return None, None
+            missed = self._emitted
+            if missed == 0:
+                # Started but nothing emitted yet: a plain feed still
+                # sees the whole stream.
+                feed = ShardFeed()
+                self._feeds.append(feed)
+                return feed, None
+            feed = DeferredFeed()
             self._feeds.append(feed)
-            return feed
+            lo, hi = self.sid_lo, self.sid_hi
+
+        def catch_up():
+            try:
+                prefix = []
+                stream = iter(self._stream(lo, hi))
+                for block in stream:
+                    prefix.append(block)
+                    if len(prefix) == missed:
+                        break
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+                feed.prime(prefix)
+            except BaseException as exc:
+                feed.prime_failed(exc)
+
+        return feed, catch_up
 
     def add_done_callback(self, callback) -> None:
         """Run ``callback`` once the scan stops touching its pinned
@@ -116,19 +230,32 @@ class ShardScanJob:
         callback()
 
     def run(self) -> None:
-        """Scan the union range once, fanning blocks to every consumer."""
+        """Scan the union range once, fanning blocks to every consumer.
+
+        The feed list is re-snapshotted per block in the same locked
+        section that counts the block as emitted, so a mid-scan attach
+        either receives a block live or counts it as missed — never
+        neither, never both.
+        """
         with self._lock:
             self._started = True
-            feeds = list(self._feeds)
         try:
-            for block in self.spec.stream(self.sid_lo, self.sid_hi,
-                                          self.block_rows):
+            for block in self._stream(self.sid_lo, self.sid_hi):
+                with self._lock:
+                    feeds = list(self._feeds)
+                    self._emitted += 1
                 for feed in feeds:
                     feed.put(block)
         except BaseException as exc:  # propagate into every consumer
+            with self._lock:
+                self._finished = True
+                feeds = list(self._feeds)
             for feed in feeds:
                 feed.fail(exc)
         else:
+            with self._lock:
+                self._finished = True
+                feeds = list(self._feeds)
             for feed in feeds:
                 feed.finish()
         finally:
@@ -152,29 +279,43 @@ class JobScheduler:
         self._open: dict[tuple, ShardScanJob] = {}
         self._lock = threading.Lock()
 
-    def schedule(self, spec, block_rows: int
-                 ) -> tuple[ShardFeed, ShardScanJob, bool]:
-        """``(feed, job, shared)`` for ``spec`` — ``shared`` is True when
-        an open compatible job absorbed the spec; otherwise the caller
-        must submit the (new) job to its executor."""
+    def schedule(self, spec, block_rows: int, runner=None
+                 ) -> tuple[ShardFeed, ShardScanJob, bool, object]:
+        """``(feed, job, shared, catch_up)`` for ``spec``.
+
+        ``shared`` is True when an open compatible job absorbed the spec
+        (pre-start, or mid-scan through a deferred feed); otherwise the
+        caller must submit the (new) job to its executor. ``catch_up`` is
+        a zero-argument callable the caller must also run (mid-scan
+        attaches only — it back-fills the consumer's missed prefix), or
+        None. ``runner`` overrides the physical scan for a job created
+        here (see :class:`ShardScanJob`).
+        """
         key = spec.share_key + (block_rows,)
         with self._lock:
             job = self._open.get(key)
             if job is not None:
-                feed = job.try_attach(spec)
+                feed, catch_up = job.try_attach(spec)
                 if feed is not None:
-                    return feed, job, True
-            job = ShardScanJob(spec, block_rows)
+                    return feed, job, True, catch_up
+            job = ShardScanJob(spec, block_rows, runner=runner)
             self._open[key] = job
-            return job.first_feed, job, False
+            return job.first_feed, job, False, None
 
     def run_job(self, job: ShardScanJob) -> None:
-        """Executor entry point: close the sharing window, then scan."""
+        """Executor entry point for a scheduled job.
+
+        The job stays in the open table *while it runs* — that is what
+        keeps the mid-scan attach window open — and is retired when the
+        scan finishes (unless a later schedule already replaced it with a
+        fresh job for the same key)."""
         key = job.spec.share_key + (job.block_rows,)
-        with self._lock:
-            if self._open.get(key) is job:
-                del self._open[key]
-        job.run()
+        try:
+            job.run()
+        finally:
+            with self._lock:
+                if self._open.get(key) is job:
+                    del self._open[key]
 
 
 class AdmissionController:
@@ -269,6 +410,7 @@ class ServiceStats:
     batches: int = 0
     jobs_scheduled: int = 0
     jobs_shared: int = 0
+    jobs_attached: int = 0  # shared via a *mid-scan* (catch-up) attach
     blocks_streamed: int = 0
     rows_streamed: int = 0
     maintenance_runs: int = 0

@@ -167,10 +167,36 @@ def filter_blocks(plan: ScanPlan, stream):
             out_rid += n
 
 
-def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS):
+def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
+                     router=None):
     """Execute a plan synchronously, yielding ``(rid, arrays)`` result
     blocks — the inline (service-less) form pinned ``Database`` queries
-    use."""
+    use.
+
+    With a process-mode ``router``
+    (:class:`~repro.exec.router.ExecutorRouter`) the per-shard specs fan
+    out to shard worker processes concurrently instead of chaining
+    sequentially on the calling thread; the rebased/filtered stream is
+    byte-identical either way.
+    """
+    if router is not None and router.fanout_executor() is not None:
+        from ..engine.scan import fanout_scan_blocks
+        from ..exec.router import ScanSource
+
+        sources = [
+            ScanSource(
+                (lambda spec=spec: spec.stream(block_rows=block_rows)),
+                stable=spec.pinned.stable,
+                layers=spec.pinned.layers,
+                columns=spec.scan_cols,
+                sid_lo=spec.sid_lo,
+                sid_hi=spec.sid_hi,
+                block_rows=block_rows,
+            )
+            for spec in plan.parts
+        ]
+        return filter_blocks(
+            plan, fanout_scan_blocks(sources, executor=router))
     return filter_blocks(
         plan,
         rebase_block_streams(spec.stream(block_rows=block_rows)

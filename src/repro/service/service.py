@@ -123,6 +123,13 @@ class QueryService:
             raise ValueError("workers must be >= 1")
         self._db = db
         self.block_rows = block_rows
+        # Process-mode databases hand shard jobs to worker processes; the
+        # runner is None in thread mode and the scheduler keeps its
+        # zero-overhead in-thread default.
+        exec_router = getattr(db, "exec_router", None)
+        self._runner = (
+            exec_router.spec_runner() if exec_router is not None else None
+        )
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="query-service",
         )
@@ -203,19 +210,32 @@ class QueryService:
             self._leases.add(lease)
         cursors: list[StreamingCursor] = []
         new_jobs: list = []
+        catch_ups: list = []
         submitted = 0
+        submitted_cu = 0
         try:
             for plan in plans:
                 feeds = []
                 shared = 0
+                attached = 0
                 for spec in plan.parts:
-                    feed, job, was_shared = self._scheduler.schedule(
-                        spec, self.block_rows)
+                    feed, job, was_shared, catch_up = \
+                        self._scheduler.schedule(
+                            spec, self.block_rows, runner=self._runner)
                     feeds.append(feed)
                     if was_shared:
                         shared += 1
                     else:
                         new_jobs.append(job)
+                    if catch_up is not None:
+                        # Mid-scan attach: the catch-up sub-scan reads
+                        # the pinned objects on its own schedule (maybe
+                        # after the primary job finished) — it carries
+                        # its own lease hold.
+                        attached += 1
+                        lease.retain()
+                        catch_ups.append(
+                            self._guard_catch_up(catch_up, lease))
                     # The job reads the pinned objects until it finishes —
                     # hold the lease for it, so an early cursor close
                     # cannot let maintenance rewrite state a live scan
@@ -231,20 +251,27 @@ class QueryService:
                     **{"range_queries" if plan.filtered else "queries": 1},
                     jobs_scheduled=len(plan.parts) - shared,
                     jobs_shared=shared,
+                    jobs_attached=attached,
                 )
             # Only now do scans start: the batch had its sharing chance.
             while submitted < len(new_jobs):
                 self._pool.submit(self._scheduler.run_job,
                                   new_jobs[submitted])
                 submitted += 1
+            while submitted_cu < len(catch_ups):
+                self._pool.submit(catch_ups[submitted_cu])
+                submitted_cu += 1
         except BaseException:
             # pool.submit racing close() is the realistic failure here;
             # unwind so nothing leaks: run never-submitted jobs inline
             # (other submissions may have attached to them — their feeds
-            # must terminate), close our cursors, free the slots of
-            # requests that never got one.
+            # must terminate), prime never-submitted deferred feeds the
+            # same way, close our cursors, free the slots of requests
+            # that never got one.
             for job in new_jobs[submitted:]:
                 self._scheduler.run_job(job)
+            for catch_up in catch_ups[submitted_cu:]:
+                catch_up()
             for cursor in cursors:
                 cursor.close()
             self._admission.release(len(requests) - len(cursors))
@@ -338,6 +365,18 @@ class QueryService:
                     self._pool.submit(self._drain_maintenance)
                 except RuntimeError:
                     pass  # closing; close() handles the leftovers
+
+    def _guard_catch_up(self, catch_up, lease: _PinLease):
+        """Wrap a mid-scan catch-up sub-scan: it primes its deferred feed
+        whatever happens, and drops its pin-lease hold when done."""
+
+        def run() -> None:
+            try:
+                catch_up()
+            finally:
+                self._lease_done(lease)
+
+        return run
 
     def _make_finisher(self, lease: _PinLease):
         def on_finish(cursor: StreamingCursor) -> None:

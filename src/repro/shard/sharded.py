@@ -169,6 +169,8 @@ class ShardedTable:
         pool = db.open_shard_pool(stable.name)
         stable.attach_storage(pool)
         pool.store.set_image_lsn(stable.name, db.manager._lsn)
+        stable.image_lsn = db.manager._lsn
+        stable.image_epoch = pool.store.table_epoch(stable.name)
         pool.store.sync()
         state = db.manager.register_table(stable)
         if read_pdt is not None and not read_pdt.is_empty():
@@ -400,19 +402,31 @@ class ShardedTable:
         completes. Shard sources are captured eagerly, so the stream is a
         snapshot of the latest-committed state at call time.
         """
+        from ..exec.router import ScanSource
+
         if columns is None:
             columns = list(self.schema.column_names)
         use_parallel = self.parallel if parallel is None else parallel
-        executor = self._pool_executor() if use_parallel else None
+        router = getattr(self.db, "exec_router", None)
+        executor = None
+        if use_parallel:
+            executor = (router.fanout_executor()
+                        if router is not None else None) \
+                or self._pool_executor()
         sources = []
         for name in self.shard_names:
             state = self.db.manager.state_of(name)
             layers = self.db.manager.latest_layers(name)
-            sources.append(
-                lambda stable=state.stable, layers=layers: scan_pdt_blocks(
+
+            def local(stable=state.stable, layers=layers):
+                return scan_pdt_blocks(
                     stable, layers, columns=columns, block_rows=batch_rows
                 )
-            )
+
+            sources.append(ScanSource(
+                local, stable=state.stable, layers=layers, columns=columns,
+                block_rows=batch_rows,
+            ))
 
         def stream():
             with self.merge_io_after():

@@ -222,6 +222,12 @@ class BlockStore:
     def image_lsn(self, table: str) -> int:
         return int(self.backend.get_table_meta(table).get("image_lsn", 0))
 
+    def table_epoch(self, table: str) -> int | None:
+        """Backend per-publish image identity (mmap segment epoch), or
+        None on backends without one (memory)."""
+        epoch_of = getattr(self.backend, "table_epoch", None)
+        return None if epoch_of is None else epoch_of(table)
+
     # -- durability ------------------------------------------------------
 
     def sync(self) -> None:

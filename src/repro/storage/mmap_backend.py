@@ -136,11 +136,17 @@ class _Segment:
 class MmapFileBackend(StorageBackend):
     """Per-table segment files + a small atomically-published catalog."""
 
-    def __init__(self, root, do_fsync: bool = True):
+    def __init__(self, root, do_fsync: bool = True, readonly: bool = False):
         self.root = Path(root)
         self.do_fsync = do_fsync
+        # Read-only opens (shard worker processes) never take the writer
+        # lock, never sweep, and reject every mutation: many workers can
+        # mmap a live writer's root concurrently and only ever observe
+        # atomically-published catalogs.
+        self.readonly = readonly
         self.seg_dir = self.root / SEGMENT_DIR
-        self.seg_dir.mkdir(parents=True, exist_ok=True)
+        if not readonly:
+            self.seg_dir.mkdir(parents=True, exist_ok=True)
         # catalog state ----------------------------------------------------
         self._columns: dict[tuple[str, str], "_MmapColumn"] = {}
         self._rows: dict[tuple[str, str], int] = {}  # incremental totals
@@ -161,6 +167,9 @@ class MmapFileBackend(StorageBackend):
         # must not run the orphan-segment sweep — the "orphans" may be
         # the live writer's not-yet-published epoch.
         self._lock_fd: int | None = None
+        if readonly:
+            self._load_catalog()
+            return
         try:
             import fcntl
 
@@ -202,9 +211,14 @@ class MmapFileBackend(StorageBackend):
         if table not in self._epochs:
             self._epochs[table] = self._next_epoch(table)
 
+    def _require_writable(self, op: str) -> None:
+        if self.readonly:
+            raise PermissionError(f"read-only backend: {op} rejected")
+
     # -- StorageBackend: blocks ------------------------------------------
 
     def begin_column(self, table: str, column: str, dtype: DataType) -> None:
+        self._require_writable("begin_column")
         with self._lock:
             self._ensure_table(table)
             self._columns[(table, column)] = _MmapColumn(dtype=dtype)
@@ -213,6 +227,7 @@ class MmapFileBackend(StorageBackend):
 
     def put_block(self, table: str, column: str, block: int, blob: bytes,
                   rows: int) -> None:
+        self._require_writable("put_block")
         with self._lock:
             col = self._columns.get((table, column))
             if col is None:
@@ -243,6 +258,7 @@ class MmapFileBackend(StorageBackend):
             return self._columns[(table, column)].blocks[block][1]
 
     def delete_table(self, table: str) -> None:
+        self._require_writable("delete_table")
         with self._lock:
             epoch = self._epochs.pop(table, None)
             if epoch is not None:
@@ -297,7 +313,17 @@ class MmapFileBackend(StorageBackend):
             names.update(self._table_meta)
             return sorted(names)
 
+    def table_epoch(self, table: str) -> int | None:
+        """The table's current segment epoch — a per-publish identity.
+        Unlike ``image_lsn`` (which two images of one table name share
+        when no commit lands between publishes), epochs are never
+        reused, so (name, epoch) names exactly one on-disk image."""
+        with self._lock:
+            return self._epochs.get(table)
+
     def set_table_meta(self, table: str, **meta) -> None:
+        if self.readonly:
+            return  # catalog is a published snapshot; nothing to record
         with self._lock:
             self._table_meta.setdefault(table, {}).update(meta)
             self._dirty = True
@@ -307,6 +333,8 @@ class MmapFileBackend(StorageBackend):
             return dict(self._table_meta.get(table, {}))
 
     def set_store_meta(self, meta: dict) -> None:
+        if self.readonly:
+            return  # BlockStore adopts persisted meta; never re-publishes
         with self._lock:
             self._store_meta.update(meta)
             self._dirty = True
@@ -318,6 +346,8 @@ class MmapFileBackend(StorageBackend):
     # -- durability -------------------------------------------------------
 
     def sync(self) -> None:
+        if self.readonly:
+            return
         with self._lock:
             if not self._dirty and not self._pending_unlink:
                 return

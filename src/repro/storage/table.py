@@ -47,6 +47,16 @@ class StableTable:
         self.num_rows = lengths.pop() if lengths else 0
         self._pool: BufferPool | None = None
         self._sk_cache: list[tuple] | None = None
+        # LSN the persisted form of *this* image was published under, or
+        # None while memory-only. Stamped by whoever publishes the image
+        # (bulk attach, checkpoint, recovery); read together with the
+        # object it names, so remote dispatch never pairs one image's
+        # layers with another image's LSN.
+        self.image_lsn: int | None = None
+        # Backend segment epoch of the same publish. The LSN alone is
+        # ambiguous — two publishes of one table name with no commit in
+        # between share it — so remote validation pairs (lsn, epoch).
+        self.image_epoch: int | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -133,6 +143,8 @@ class StableTable:
             columns.append(Column(spec.name, spec.dtype, values))
         table = cls(name, schema, columns)
         table._pool = pool
+        table.image_lsn = pool.store.image_lsn(name)
+        table.image_epoch = pool.store.table_epoch(name)
         return table
 
     def detach_storage(self) -> None:

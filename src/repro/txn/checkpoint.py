@@ -62,6 +62,8 @@ def checkpoint_table(manager: TransactionManager, table: str) -> StableTable:
         # the full log; after it, the persisted image_lsn makes replay
         # skip the folded history even if the rebase never landed.
         pool.store.set_image_lsn(table, manager._lsn)
+        new_stable.image_lsn = manager._lsn
+        new_stable.image_epoch = pool.store.table_epoch(table)
         pool.store.sync()
         pool.clear()
     state.stable = new_stable
@@ -179,6 +181,8 @@ def checkpoint_table_range(manager: TransactionManager, table: str,
                 for_image_lsn=manager._lsn,
             )
         pool.store.set_image_lsn(table, manager._lsn)
+        new_stable.image_lsn = manager._lsn
+        new_stable.image_epoch = pool.store.table_epoch(table)
         pool.store.sync()
         pool.evict_table(table)
     state.stable = new_stable

@@ -16,7 +16,8 @@ import pytest
 
 def pytest_report_header(config):
     backend = os.environ.get("REPRO_STORAGE_BACKEND", "memory")
-    return f"repro storage backend: {backend}"
+    executor = os.environ.get("REPRO_EXECUTOR", "thread")
+    return f"repro storage backend: {backend}; executor: {executor}"
 
 
 @pytest.fixture(scope="session", autouse=True)

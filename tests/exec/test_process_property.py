@@ -1,0 +1,88 @@
+"""Differential property suite under the process executor.
+
+The same random workload grammar as the sharded-table property suite —
+bulk batches, scalar updates, shard splits/merges, per-shard
+checkpoints — but the system under test runs on mmap storage with
+``executor="process"`` and a remote-eligibility floor of zero, so every
+shard scan that *can* go to a worker process does, however small. The
+oracle is an in-memory thread-mode unsharded table fed identical
+updates; any divergence in the pin-vector serialization, the worker's
+snapshot materialization, or the shared-memory block transport shows up
+as a row-stream mismatch.
+"""
+
+import random
+import shutil
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Database, DataType, Schema
+from repro.shard import merge_adjacent, split_shard
+
+from ..shard.test_sharded_property import KEY_RANGE, gen_batch
+
+SCHEMA = Schema.build(
+    ("k", DataType.INT64),
+    ("a", DataType.INT64),
+    ("b", DataType.STRING),
+    sort_key=("k",),
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    n_rows=st.integers(0, 60),
+    shards=st.integers(1, 4),
+    n_steps=st.integers(1, 8),
+)
+def test_process_executor_matches_thread_oracle(seed, n_rows, shards,
+                                                n_steps):
+    rng = random.Random(seed)
+    rows = sorted(
+        (k, rng.randrange(1000), f"s{k}")
+        for k in rng.sample(range(0, KEY_RANGE, 2), n_rows)
+    )
+    live = {r[0] for r in rows}
+
+    root = tempfile.mkdtemp(prefix="exec-prop-")
+    db = Database(compressed=False, storage="mmap", storage_path=root,
+                  executor="process", workers=1)
+    oracle = Database(compressed=False, executor="thread")
+    try:
+        assert db.exec_router.mode == "process"
+        db.exec_router.min_remote_rows = 0  # remote-execute even tiny shards
+        sharded = db.create_sharded_table("t", SCHEMA, rows, shards=shards)
+        oracle.create_table("t", SCHEMA, rows)
+
+        for _ in range(n_steps):
+            action = rng.random()
+            if action < 0.5:
+                ops = gen_batch(rng, live, rng.randrange(1, 10))
+                if ops:
+                    db.apply_batch("t", ops)
+                    oracle.apply_batch("t", ops)
+            elif action < 0.65:
+                split_shard(sharded, rng.randrange(sharded.num_shards))
+            elif action < 0.8:
+                if sharded.num_shards > 1:
+                    merge_adjacent(
+                        sharded, rng.randrange(sharded.num_shards - 1)
+                    )
+            else:
+                from repro.txn import checkpoint_table
+
+                shard = rng.choice(sharded.shard_names)
+                checkpoint_table(db.manager, shard)
+            assert db.query("t").rows() == oracle.query("t").rows()
+            assert db.row_count("t") == oracle.row_count("t")
+
+        db.checkpoint("t")
+        oracle.checkpoint("t")
+        assert db.query("t").rows() == oracle.query("t").rows()
+    finally:
+        db.close()
+        oracle.close()
+        shutil.rmtree(root, ignore_errors=True)
