@@ -1,0 +1,108 @@
+"""Observability: one metrics snapshot, stitched traces, slow-query log.
+
+Builds a sharded table, runs writes and fanned-out reads with tracing
+enabled, then walks the three telemetry surfaces:
+
+* ``db.metrics()`` — one JSON-able snapshot: latency histograms
+  (p50/p99), commit-stage timings, and the live stats sources (io, txn,
+  scheduler, exec, group-commit, service) in a single dict, exportable
+  as Prometheus text.
+* the trace sink — every query is a span tree; with
+  ``REPRO_EXECUTOR=process`` the worker-process scan spans (different
+  pid) are stitched into the same tree as the parent-side spans.
+* the slow-query log — queries over ``slow_query_ms`` are recorded with
+  their full profile and rendered span tree.
+
+Run: ``python examples/observability.py``
+(honours ``REPRO_EXECUTOR=thread|process``)
+"""
+
+import logging
+import os
+import tempfile
+
+import numpy as np
+
+from repro import Database, DataType, Schema
+from repro.obs import prometheus_text
+
+N_ROWS = 40_000  # 4 shards x 10k rows: enough to fan out to workers
+
+
+def main() -> None:
+    logging.basicConfig(level=logging.WARNING,
+                        format="%(levelname)s %(name)s: %(message)s")
+    schema = Schema.build(
+        ("order_id", DataType.INT64),
+        ("amount", DataType.INT64),
+        sort_key=("order_id",),
+    )
+    arrays = {
+        "order_id": np.arange(N_ROWS, dtype=np.int64),
+        "amount": np.arange(N_ROWS, dtype=np.int64) % 500,
+    }
+
+    executor = os.environ.get("REPRO_EXECUTOR") or "thread"
+    with tempfile.TemporaryDirectory() as root:
+        # mmap storage so the process executor can hand shards to real
+        # worker processes; slow_query_ms=0.0 logs every query so the
+        # slow path is visible in a demo-sized run.
+        db = Database(storage="mmap", storage_path=root,
+                      executor=executor, workers=2,
+                      trace=True, slow_query_ms=0.0)
+        db.create_sharded_table_from_arrays("orders", schema, arrays,
+                                            shards=4)
+        print(f"executor={executor}  parent pid={os.getpid()}")
+
+        # --- write path: commits observed stage by stage -----------------
+        for i in range(10):
+            db.insert("orders", (N_ROWS + i, i))
+
+        # --- read path: a service query fans out across shards -----------
+        db.make_cold()  # drop pools so the scan does visible IO
+        with db.serve() as svc:
+            cursor = svc.submit_query("orders")
+            rel = cursor.to_relation()
+        print(f"query returned {rel.num_rows} rows "
+              f"across {cursor.profile.shards} shards")
+
+        # --- the stitched span tree --------------------------------------
+        print("\nspan tree (query -> shard.scan -> worker.scan):")
+        print(db.obs.sink.render(cursor.profile.trace_id))
+        worker_pids = {s.pid for s in db.obs.sink.spans()
+                       if s.name == "worker.scan"}
+        if worker_pids:
+            print(f"worker-process scan spans from pids: "
+                  f"{sorted(worker_pids)}")
+
+        # --- one coherent metrics snapshot -------------------------------
+        snap = db.metrics()
+        q = snap["histograms"]["query_seconds"]
+        print(f"\nqueries observed: {q['count']}  "
+              f"p50={q['p50'] * 1e3:.2f}ms  p99={q['p99'] * 1e3:.2f}ms")
+        for stage in ("serialize", "propagate", "wal_append",
+                      "durability_wait"):
+            hist = snap["histograms"][f"commit_{stage}_seconds"]
+            print(f"commit stage {stage:16s} "
+                  f"mean={hist['sum'] / hist['count'] * 1e6:7.1f}us")
+        io = snap["sources"]["io"]
+        print(f"io: {io['bytes_read']} bytes / {io['blocks_read']} blocks "
+              f"(worker reads merged into the parent's counters)")
+        print(f"exec: {snap['sources']['exec']}")
+
+        # --- slow-query log ----------------------------------------------
+        entries = db.obs.slow_log.entries()
+        print(f"\nslow-query log holds {len(entries)} entries; last "
+              f"profile: {entries[-1]['profile'] if entries else None}")
+
+        # --- Prometheus exposition (scripts/export_metrics.py) -----------
+        text = prometheus_text(snap)
+        head = "\n".join(text.splitlines()[:8])
+        print(f"\nprometheus text ({len(text.splitlines())} lines), "
+              f"first 8:\n{head}")
+
+        db.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -26,7 +26,11 @@ QUERIES = (1, 3, 6, 12, 14)
 def main(scale: float = 0.005) -> None:
     print(f"generating TPC-H at SF={scale} ...")
     data = generate(scale=scale)
-    db = load_database(data, compressed=False)
+    # Telemetry on: every query lands in the latency histograms, and
+    # anything slower than 50 ms is captured by the slow-query log with
+    # its span tree.
+    db = load_database(data, compressed=False, trace=True,
+                       slow_query_ms=50.0)
     print(
         f"  lineitem: {data.row_count('lineitem'):,} rows, "
         f"orders: {data.row_count('orders'):,} rows"
@@ -73,6 +77,17 @@ def main(scale: float = 0.005) -> None:
         "positional merging never needs the sort-key columns — while the\n"
         "VDT run must scan them for every query."
     )
+
+    hist = db.metrics()["histograms"]["query_seconds"]
+    print(f"\ntelemetry: {hist['count']} queries observed, "
+          f"p50={hist['p50'] * 1e3:.0f}ms p99={hist['p99'] * 1e3:.0f}ms")
+    slow = db.obs.slow_log.entries()
+    print(f"slow-query log (>50ms): {len(slow)} entries")
+    if slow:
+        worst = max(slow, key=lambda e: e["profile"]["total_s"])
+        print(f"worst: {worst['profile']['table']} "
+              f"{worst['profile']['total_s'] * 1e3:.0f}ms — span tree:")
+        print(worst["span_tree"])
 
 
 if __name__ == "__main__":

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Prometheus-text exporter for ``Database.metrics()`` snapshots.
+
+``Database.metrics()`` returns one JSON-able dict (instrument values plus
+the six live stats surfaces). This script renders such a snapshot in the
+Prometheus text exposition format — the glue between a repro process
+that periodically dumps ``json.dump(db.metrics(), f)`` and a node
+exporter's textfile collector (or any scrape-side tooling).
+
+Usage::
+
+    # A snapshot dumped by your process:
+    python scripts/export_metrics.py snapshot.json
+    python scripts/export_metrics.py - < snapshot.json   # stdin
+
+    # No snapshot at hand? Run a tiny self-contained workload and
+    # export its live metrics (demonstrates the full pipeline):
+    python scripts/export_metrics.py --demo
+
+Multiple snapshot files merge into one exposition (counters and
+histogram buckets sum — per-process snapshots roll up)::
+
+    python scripts/export_metrics.py shard0.json shard1.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import MetricsRegistry, prometheus_text  # noqa: E402
+
+
+def demo_snapshot() -> dict:
+    from repro import Database, DataType, Schema
+
+    schema = Schema.build(("k", DataType.INT64), ("v", DataType.INT64),
+                          sort_key=("k",))
+    with Database() as db:
+        db.create_sharded_table("t", schema,
+                                [(i, i) for i in range(5_000)], shards=4)
+        db.insert("t", (5_001, 1))
+        db.query("t")
+        db.query_range("t", low=(10,), high=(99,))
+        return db.metrics()
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("snapshots", nargs="*",
+                        help="metrics snapshot JSON files ('-' = stdin)")
+    parser.add_argument("--demo", action="store_true",
+                        help="run a tiny workload and export its metrics")
+    parser.add_argument("--namespace", default="repro",
+                        help="metric name prefix (default: repro)")
+    args = parser.parse_args(argv)
+
+    if args.demo:
+        snapshots = [demo_snapshot()]
+    elif args.snapshots:
+        snapshots = []
+        for name in args.snapshots:
+            if name == "-":
+                snapshots.append(json.load(sys.stdin))
+            else:
+                snapshots.append(json.loads(Path(name).read_text()))
+    else:
+        parser.error("provide snapshot files (or '-' for stdin), "
+                     "or --demo")
+
+    merged = snapshots[0]
+    for snap in snapshots[1:]:
+        merged = MetricsRegistry.merge_snapshots(merged, snap)
+    sys.stdout.write(prometheus_text(merged, namespace=args.namespace))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

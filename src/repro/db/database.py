@@ -99,6 +99,18 @@ class Database:
     ``workers``
         Process-pool size for ``executor="process"`` (default:
         ``min(4, cpu_count)``).
+    ``trace``
+        Query/commit tracing. ``True`` keeps the last 4096 finished
+        spans in a ring-buffer :class:`~repro.obs.TraceSink`; an ``int``
+        sets the ring capacity; a ``TraceSink`` instance is used as-is;
+        ``None``/``False`` (default) disables span creation entirely.
+        The sink is at ``db.obs.sink``; traced queries through a
+        process executor stitch worker-process scan spans into the
+        caller's tree.
+    ``slow_query_ms``
+        When set, queries slower than this threshold are recorded in
+        ``db.obs.slow_log`` (profile plus — if tracing — the rendered
+        span tree) and emitted on the ``repro.obs.slow`` logger.
     ``write_pdt_limit_bytes``
         Budget used by the manual :meth:`maintain` convenience.
     ``checkpoint_policy``
@@ -129,12 +141,16 @@ class Database:
         max_pin_age_s: float | None = None,
         executor: str | None = None,
         workers: int | None = None,
+        trace=None,
+        slow_query_ms: float | None = None,
     ):
         import os
 
         from ..exec.router import ExecutorRouter
+        from ..obs import Observability
 
         self.io = IOStats()
+        self.obs = Observability(trace=trace, slow_query_ms=slow_query_ms)
         self.storage = resolve_storage(storage, storage_path)
         exec_mode = executor or os.environ.get("REPRO_EXECUTOR") or "thread"
         self.exec_router = ExecutorRouter(exec_mode, workers=workers,
@@ -173,6 +189,51 @@ class Database:
             from ..txn.recovery import recover_persistent
 
             self.recovered_lsn = recover_persistent(self)
+        # Attach observability last: recovery may swap the WAL's group
+        # coordinator, and replayed commits should not pollute latency
+        # histograms.
+        self.manager.obs = self.obs
+        if self.manager.wal.group is not None:
+            self.manager.wal.group.obs = self.obs
+        self.exec_router.tracer = self.obs.tracer
+        self.exec_router.io = self.io
+        self._register_metric_sources()
+
+    # -- observability -----------------------------------------------------
+
+    def _register_metric_sources(self) -> None:
+        """Expose every stats surface through the metrics registry, so
+        one ``metrics()`` snapshot is coherent across all of them."""
+        reg = self.obs.registry
+        reg.register_source("io", self.io.as_dict)
+        reg.register_source("txn", lambda: self.manager.stats.as_dict())
+        reg.register_source(
+            "scheduler", lambda: self.scheduler.stats.as_dict())
+        reg.register_source("exec", self.exec_router.as_dict)
+        reg.register_source("group_commit", self._group_commit_source)
+        reg.register_source("service", self._service_source)
+
+    def _group_commit_source(self) -> dict:
+        group = self.manager.wal.group
+        return group.stats.as_dict() if group is not None else {}
+
+    def _service_source(self) -> dict:
+        """Counters summed over the attached query services."""
+        out: dict = {"attached": len(self._services)}
+        for service in list(self._services):
+            for key, value in service.stats.as_dict().items():
+                out[key] = out.get(key, 0) + value
+        return out
+
+    def metrics(self) -> dict:
+        """One coherent, JSON-able snapshot of every metric this database
+        maintains: the always-on latency histograms (with p50/p99), plus
+        the six stats surfaces — IO, transactions, checkpoint scheduler,
+        group commit, executor router, query services — read through
+        their locked ``as_dict()`` views. Feed it to
+        :func:`repro.obs.prometheus_text` (or
+        ``scripts/export_metrics.py``) for Prometheus exposition."""
+        return self.obs.registry.snapshot()
 
     @classmethod
     def recover(cls, storage_path, **kwargs) -> "Database":
@@ -407,6 +468,15 @@ class Database:
         instead of fanning out (see :meth:`query_point`). ``pin`` scans a
         :meth:`pin_snapshot` version instead of the latest state.
         """
+        with self.obs.query_scope(table) as q:
+            rel = self._query_impl(table, columns, timer, batch_rows, sk,
+                                   pin)
+            if q is not None:
+                q["rows"] = rel.num_rows
+            return rel
+
+    def _query_impl(self, table, columns, timer, batch_rows, sk, pin
+                    ) -> Relation:
         if pin is not None:
             return self._query_pinned(table, pin, low=sk, high=sk,
                                       columns=columns, timer=timer,
@@ -439,6 +509,15 @@ class Database:
         index narrows the MergeScan to the qualifying SID range — no
         fan-out, cold shards untouched.
         """
+        with self.obs.query_scope(table) as q:
+            rel = self._query_point_impl(table, sk, columns, batch_rows,
+                                         timer)
+            if q is not None:
+                q["rows"] = rel.num_rows
+            return rel
+
+    def _query_point_impl(self, table, sk, columns, batch_rows, timer
+                          ) -> Relation:
         import time
 
         sk = tuple(sk)
@@ -521,6 +600,15 @@ class Database:
         "Respecting Deletes"). ``pin`` evaluates the range against a
         :meth:`pin_snapshot` version instead of the latest state.
         """
+        with self.obs.query_scope(table) as q:
+            rel = self._query_range_impl(table, low, high, columns,
+                                         batch_rows, pin)
+            if q is not None:
+                q["rows"] = rel.num_rows
+            return rel
+
+    def _query_range_impl(self, table, low, high, columns, batch_rows,
+                          pin) -> Relation:
         if pin is not None:
             return self._query_pinned(table, pin, low=low, high=high,
                                       columns=columns,

@@ -73,8 +73,14 @@ class _WorkerHandle:
     def pid(self):
         return self.proc.pid
 
-    def run_job(self, payload: dict):
+    def run_job(self, payload: dict, on_done=None):
         """Dispatch one scan job; yield ``(first_rid, arrays)`` blocks.
+
+        ``on_done`` (if given) receives the telemetry extras dict the
+        worker ships with its final frame — per-job IO counters and
+        worker-side trace spans. Extras of an *abandoned* predecessor
+        job are dropped with its blocks (the job-id check), so a retried
+        job's counters are never ingested twice.
 
         Raises :class:`StaleImage` (job not runnable remotely, worker
         fine) or :class:`WorkerCrashed` (worker died; caller re-dispatches
@@ -107,6 +113,8 @@ class _WorkerHandle:
                 yield first_rid, self.reader.decode(frame)
             elif op == "done":
                 if msg[1] == job_id:
+                    if on_done is not None and len(msg) > 3:
+                        on_done(msg[3])
                     return
             elif op == "stale":
                 if msg[1] == job_id:
@@ -143,10 +151,10 @@ class ScanSource:
     """
 
     __slots__ = ("local", "stable", "layers", "columns", "sid_lo",
-                 "sid_hi", "block_rows")
+                 "sid_hi", "block_rows", "trace_ctx")
 
     def __init__(self, local, stable=None, layers=(), columns=(),
-                 sid_lo=0, sid_hi=None, block_rows=1024):
+                 sid_lo=0, sid_hi=None, block_rows=1024, trace_ctx=None):
         self.local = local
         self.stable = stable
         self.layers = tuple(layers)
@@ -154,6 +162,10 @@ class ScanSource:
         self.sid_lo = sid_lo
         self.sid_hi = sid_hi
         self.block_rows = block_rows
+        # Serialized span context captured on the *submitting* thread
+        # (contextvars do not cross the driver pool): lets worker spans
+        # stitch under the query span even for inline fan-out scans.
+        self.trace_ctx = trace_ctx
 
     def __call__(self):
         return self.local()
@@ -199,6 +211,25 @@ class ExecutorRouter:
         self.local_jobs = 0
         self.redispatches = 0
         self.stale_fallbacks = 0
+        self.worker_io_merges = 0  # completed remote jobs whose IO merged
+        # Set by the owning Database: worker-side IO deltas merge into
+        # `io` (the db-level IOStats); `tracer` threads span context into
+        # payloads and stitches worker spans back into the sink.
+        self.io = None
+        self.tracer = None
+
+    def as_dict(self) -> dict:
+        """JSON-able router counters for ``Database.metrics()``."""
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "remote_jobs": self.remote_jobs,
+            "local_jobs": self.local_jobs,
+            "redispatches": self.redispatches,
+            "stale_fallbacks": self.stale_fallbacks,
+            "worker_io_merges": self.worker_io_merges,
+            "live_workers": len(self.worker_pids()),
+        }
 
     @staticmethod
     def _storage_supported(storage) -> bool:
@@ -284,13 +315,28 @@ class ExecutorRouter:
 
     # -- job execution -----------------------------------------------------
 
-    def stream_blocks(self, payload: dict, local):
+    def stream_blocks(self, payload: dict, local, trace_ctx=None):
         """Run one job remotely with crash re-dispatch; yield its blocks.
 
         ``local`` is the zero-argument thread fallback returning the same
         deterministic block stream. ``delivered`` blocks already yielded
         to the consumer are skipped on every re-run, so the output is
-        byte-identical whether zero, one, or every worker died."""
+        byte-identical whether zero, one, or every worker died.
+
+        Telemetry: the worker ships per-job IO counters and its scan span
+        with the final ``done`` frame; both are ingested here *exactly
+        once per completed attempt* — a crashed attempt ships nothing
+        (its span is recorded as an ``orphan`` instead, so redispatches
+        stay visible in the trace tree rather than silently missing).
+        ``trace_ctx`` overrides the ambient current span for callers
+        driving this from a pool thread (see :class:`ScanSource`)."""
+        tracer = self.tracer
+        traced = tracer is not None and tracer.enabled
+        cur = tracer.current() if traced else None
+        ctx = trace_ctx if trace_ctx is not None else (
+            cur.ctx() if cur is not None else None)
+        if traced and ctx is not None:
+            payload = dict(payload, trace=ctx)
         delivered = 0
         deaths = 0
         use_local = False
@@ -298,11 +344,17 @@ class ExecutorRouter:
             handle = self._checkout()
             if handle is None:
                 break
+            extras: dict = {}
             try:
-                for block in handle.run_job(dict(payload, skip=delivered)):
+                for block in handle.run_job(dict(payload, skip=delivered),
+                                            on_done=extras.update):
                     yield block
                     delivered += 1
                 self.remote_jobs += 1
+                self._ingest_extras(extras)
+                if cur is not None:
+                    cur.attrs["remote_blocks"] = (
+                        cur.attrs.get("remote_blocks", 0) + delivered)
                 return
             except StaleImage:
                 self.stale_fallbacks += 1
@@ -310,14 +362,42 @@ class ExecutorRouter:
             except WorkerCrashed:
                 deaths += 1
                 self.redispatches += 1
+                if traced and ctx is not None:
+                    tracer.record_orphan(
+                        ctx, "worker.scan", pid=handle.pid,
+                        delivered=delivered,
+                        table=payload.get("table", "?"))
                 if deaths > self.max_redispatch:
                     use_local = True
             finally:
                 self._checkin(handle)
         self.local_jobs += 1
+        local_blocks = 0
         for i, block in enumerate(local()):
             if i >= delivered:
+                local_blocks += 1
                 yield block
+        if cur is not None:
+            cur.attrs["local_blocks"] = (
+                cur.attrs.get("local_blocks", 0) + local_blocks)
+            if delivered:  # blocks a since-dead worker did deliver
+                cur.attrs["remote_blocks"] = (
+                    cur.attrs.get("remote_blocks", 0) + delivered)
+
+    def _ingest_extras(self, extras: dict) -> None:
+        """Fold one completed remote job's telemetry into parent state."""
+        if not extras:
+            return
+        io_delta = extras.get("io")
+        if io_delta is not None and self.io is not None:
+            self.io.merge(io_delta)
+            self.worker_io_merges += 1
+        spans = extras.get("spans")
+        if spans and self.tracer is not None and self.tracer.enabled:
+            from ..obs.trace import Span
+
+            for span_dict in spans:
+                self.tracer.sink.record(Span.from_dict(span_dict))
 
     def run_source(self, source) -> list:
         """Materialize one :class:`ScanSource` (remote when eligible)."""
@@ -328,7 +408,8 @@ class ExecutorRouter:
         if payload is None:
             self.local_jobs += 1
             return list(source())
-        return list(self.stream_blocks(payload, source.local))
+        return list(self.stream_blocks(payload, source.local,
+                                       trace_ctx=source.trace_ctx))
 
     def submit_stream(self, source):
         """Executor hook for :func:`~repro.engine.scan.fanout_scan_blocks`:

@@ -98,7 +98,15 @@ def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
              payload: dict) -> None:
     from ..engine.scan import scan_pdt_blocks
 
-    stable, _pool = cache.stable_for(payload)
+    stable, pool = cache.stable_for(payload)
+    # Telemetry for the final frame: the parent merges the IO delta into
+    # its db-level stats (exactly once, only for *completed* jobs — a
+    # crashed attempt ships nothing and its redispatch re-reads honestly)
+    # and stitches the span into its trace sink.
+    io_before = pool.io.snapshot()
+    trace_ctx = payload.get("trace")
+    wall_start = time.time()
+    t0 = time.perf_counter()
     layers = rebuild_layers(stable.schema, payload["layers"])
     stop = payload["sid_hi"]
     stream = scan_pdt_blocks(
@@ -110,12 +118,15 @@ def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
     skip = payload.get("skip", 0)
     delay = payload.get("block_delay_s") or 0.0
     produced = 0
+    rows = 0
     for first_rid, arrays in stream:
         produced += 1
         if produced <= skip:
             continue
         if delay:
             time.sleep(delay)  # test hook: widen the mid-scan kill window
+        if arrays:
+            rows += len(next(iter(arrays.values())))
         frame = ring.try_write(arrays) if ring is not None else None
         if frame is None:
             # Ring full (a slow consumer pins the oldest frames) or
@@ -124,7 +135,23 @@ def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
                        {"off": 0, "end": 0, "cols": [], "inline": arrays}))
         else:
             conn.send(("block", job_id, first_rid, frame))
-    conn.send(("done", job_id, produced))
+    io_delta = pool.io.since(io_before)
+    extras: dict = {"io": io_delta}
+    if trace_ctx is not None:
+        from ..obs.trace import worker_span_dict
+
+        extras["spans"] = [worker_span_dict(
+            trace_ctx, "worker.scan", wall_start,
+            time.perf_counter() - t0,
+            {
+                "table": payload["table"],
+                "blocks": max(0, produced - skip),
+                "skip": skip,
+                "rows": rows,
+                "io_bytes": io_delta.bytes_read,
+            },
+        )]
+    conn.send(("done", job_id, produced, extras))
 
 
 def worker_main(conn, ring_name: str | None, ring_capacity: int) -> None:

@@ -1,0 +1,325 @@
+"""Trace spans with explicit parent ids, across threads and processes.
+
+A :class:`Span` is a plain record: ``trace_id`` groups one logical query
+or commit, ``span_id`` names this operation, ``parent_id`` points at the
+enclosing span (None for a root). Ids embed the originating pid, so a
+span minted inside a :class:`~repro.exec.worker` process can never
+collide with a parent-side one.
+
+Propagation has two forms:
+
+* **Same process** — :class:`Tracer` keeps the current span in a
+  ``contextvars.ContextVar``; ``tracer.start(...)`` parents to it
+  automatically, so the write path (commit → group flush → fsync) nests
+  without any plumbing.
+* **Cross thread / cross process** — explicit context: ``tracer.ctx()``
+  returns ``{"trace_id", "span_id"}``, a dict small enough to ride in a
+  scan payload or on a job object. The worker process builds plain span
+  dicts against that context and ships them back with its final
+  ``done`` frame; the router records them into the parent's sink
+  (:meth:`Span.from_dict`), stitching one tree across the transport.
+
+Finished spans land in a bounded ring (:class:`TraceSink`) — old traces
+fall off, tracing never grows without bound. A worker SIGKILLed mid-job
+obviously cannot ship its spans; the router records a synthetic span
+with ``status="orphan"`` in its place, so the redispatch is visible in
+the tree rather than silently missing.
+
+A disabled tracer (``Database()`` without ``trace=``) costs one
+attribute check per would-be span.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+
+_current_span: ContextVar = ContextVar("repro_current_span", default=None)
+# next() on an itertools.count is atomic under the GIL; the pid prefix is
+# cached and re-derived after a fork/spawn (hot path: one getpid check).
+_ids = itertools.count(1)
+_id_pid = -1
+_id_prefix = ""
+
+
+def new_id() -> str:
+    """A process-unique span id (pid-prefixed, monotonic)."""
+    global _id_pid, _id_prefix
+    pid = os.getpid()
+    if pid != _id_pid:
+        _id_pid, _id_prefix = pid, f"{pid:x}-"
+    return f"{_id_prefix}{next(_ids):x}"
+
+
+@dataclass(slots=True)
+class Span:
+    """One timed operation in a trace tree."""
+
+    trace_id: str
+    span_id: str
+    parent_id: str | None
+    name: str
+    start_s: float = field(default_factory=time.time)  # wall clock
+    duration_s: float | None = None
+    status: str = "ok"  # "ok" | "error" | "orphan"
+    pid: int = field(default_factory=os.getpid)
+    attrs: dict = field(default_factory=dict)
+    _t0: float | None = field(default=None, repr=False, compare=False)
+
+    def ctx(self) -> dict:
+        """The serializable propagation context for child spans."""
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    def as_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+            "status": self.status,
+            "pid": self.pid,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Span":
+        return cls(
+            trace_id=d["trace_id"], span_id=d["span_id"],
+            parent_id=d.get("parent_id"), name=d["name"],
+            start_s=d.get("start_s", 0.0),
+            duration_s=d.get("duration_s"),
+            status=d.get("status", "ok"), pid=d.get("pid", 0),
+            attrs=dict(d.get("attrs", {})),
+        )
+
+
+class _NoopSpan:
+    """Stand-in yielded by a disabled tracer: absorbs attr writes."""
+
+    __slots__ = ()
+    trace_id = span_id = parent_id = None
+    status = "ok"
+
+    @property
+    def attrs(self):
+        return {}
+
+    def ctx(self):
+        return None
+
+
+class _SpanScope:
+    """Class-based ``with`` scope for :meth:`Tracer.start` — the span
+    hot path runs per commit and per shard scan, and a plain object is
+    measurably cheaper than a generator context manager there."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self):
+        self._token = _current_span.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        _current_span.reset(self._token)
+        self._tracer.finish(self._span,
+                            status="error" if exc_type else "ok")
+        return False
+
+
+class _NoopScope:
+    """Shared inert scope returned by a disabled tracer's ``start``."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return _NOOP_SPAN
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SCOPE = _NoopScope()
+_NOOP_SPAN = _NoopSpan()
+
+
+class TraceSink:
+    """Bounded ring of finished spans, with tree assembly for display."""
+
+    def __init__(self, capacity: int = 4096):
+        self._spans: deque = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._spans.maxlen
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) == self._spans.maxlen:
+                self.dropped += 1
+            self._spans.append(span)
+
+    def spans(self, trace_id: str | None = None) -> list[Span]:
+        with self._lock:
+            items = list(self._spans)
+        if trace_id is None:
+            return items
+        return [s for s in items if s.trace_id == trace_id]
+
+    def trace_ids(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for span in self.spans():
+            seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def tree(self, trace_id: str) -> list["SpanNode"]:
+        """Root nodes of one trace. A span whose parent fell off the
+        ring (or was never recorded) is promoted to a root rather than
+        dropped."""
+        spans = sorted(self.spans(trace_id), key=lambda s: s.start_s)
+        nodes = {s.span_id: SpanNode(s, []) for s in spans}
+        roots: list[SpanNode] = []
+        for span in spans:
+            parent = nodes.get(span.parent_id) if span.parent_id else None
+            if parent is None:
+                roots.append(nodes[span.span_id])
+            else:
+                parent.children.append(nodes[span.span_id])
+        return roots
+
+    def render(self, trace_id: str) -> str:
+        """ASCII tree of one trace — what the slow-query log emits."""
+        lines: list[str] = []
+
+        def describe(span: Span) -> str:
+            dur = ("%.2fms" % (span.duration_s * 1e3)
+                   if span.duration_s is not None else "?")
+            flag = "" if span.status == "ok" else f" [{span.status.upper()}]"
+            attrs = " ".join(f"{k}={v}" for k, v in span.attrs.items())
+            body = f"{span.name} pid={span.pid} {dur}{flag}"
+            return f"{body} {attrs}" if attrs else body
+
+        def walk(node: SpanNode, prefix: str, last: bool) -> None:
+            lines.append(prefix + ("└─ " if last else "├─ ")
+                         + describe(node.span))
+            child_prefix = prefix + ("   " if last else "│  ")
+            for i, child in enumerate(node.children):
+                walk(child, child_prefix, i == len(node.children) - 1)
+
+        for root in self.tree(trace_id):
+            lines.append(f"{describe(root.span)} trace={trace_id}")
+            for i, child in enumerate(root.children):
+                walk(child, "", i == len(root.children) - 1)
+        return "\n".join(lines)
+
+
+@dataclass
+class SpanNode:
+    span: Span
+    children: list
+
+
+class Tracer:
+    """Span factory bound to a sink; no-op when the sink is None."""
+
+    def __init__(self, sink: TraceSink | None = None):
+        self.sink = sink
+
+    @property
+    def enabled(self) -> bool:
+        return self.sink is not None
+
+    def current(self) -> Span | None:
+        return _current_span.get()
+
+    def ctx(self) -> dict | None:
+        """Propagation context of the current span, or None."""
+        span = _current_span.get()
+        return span.ctx() if span is not None else None
+
+    @staticmethod
+    def _resolve_parent(parent) -> tuple[str, str | None]:
+        """(trace_id, parent_span_id) from a Span, a ctx dict, or the
+        ambient current span."""
+        if parent is None:
+            parent = _current_span.get()
+        if parent is None:
+            return new_id(), None
+        if isinstance(parent, Span):
+            return parent.trace_id, parent.span_id
+        return parent["trace_id"], parent["span_id"]
+
+    def begin(self, name: str, parent=None, **attrs) -> Span:
+        """Open a span without touching the ambient context (for spans
+        finished on another thread — request roots, shard jobs)."""
+        if not self.enabled:
+            return _NOOP_SPAN
+        trace_id, parent_id = self._resolve_parent(parent)
+        span = Span(trace_id=trace_id, span_id=new_id(),
+                    parent_id=parent_id, name=name, attrs=dict(attrs))
+        span._t0 = time.perf_counter()
+        return span
+
+    def finish(self, span, status: str = "ok") -> None:
+        if span is None or span is _NOOP_SPAN or not self.enabled:
+            return
+        if span.duration_s is None:
+            span.duration_s = (time.perf_counter() - span._t0
+                               if span._t0 is not None else 0.0)
+        if status != "ok":
+            span.status = status
+        self.sink.record(span)
+
+    def start(self, name: str, parent=None, **attrs) -> "_SpanScope":
+        """Context manager: open a span, make it the ambient current
+        span for the ``with`` body, record it on exit."""
+        if not self.enabled:
+            return _NOOP_SCOPE
+        return _SpanScope(self, self.begin(name, parent=parent, **attrs))
+
+    def record_orphan(self, parent_ctx, name: str, **attrs) -> None:
+        """Mark a child operation that died before reporting (e.g. a
+        SIGKILLed worker): the span exists, carries no duration, and is
+        flagged ``orphan`` so redispatches stay visible in the tree."""
+        if not self.enabled or parent_ctx is None:
+            return
+        trace_id, parent_id = self._resolve_parent(parent_ctx)
+        self.sink.record(Span(
+            trace_id=trace_id, span_id=new_id(), parent_id=parent_id,
+            name=name, duration_s=None, status="orphan",
+            attrs=dict(attrs),
+        ))
+
+
+def worker_span_dict(ctx: dict, name: str, start_s: float,
+                     duration_s: float, attrs: dict) -> dict:
+    """A plain span dict minted inside a worker process against a
+    serialized parent context — picklable, stitched by the router via
+    :meth:`Span.from_dict`."""
+    return {
+        "trace_id": ctx["trace_id"],
+        "span_id": new_id(),
+        "parent_id": ctx["span_id"],
+        "name": name,
+        "start_s": start_s,
+        "duration_s": duration_s,
+        "status": "ok",
+        "pid": os.getpid(),
+        "attrs": attrs,
+    }

@@ -23,17 +23,25 @@ import time
 
 from ..engine.relation import Relation
 from ..engine.scan import rebase_block_streams
+from ..obs import QueryProfile, ShardScanProfile
 from .jobs import RequestStats
 
 
 class StreamingCursor:
     """Iterator over one request's ``(rid, arrays)`` result blocks."""
 
-    def __init__(self, plan, feeds, on_finish=None):
+    def __init__(self, plan, feeds, on_finish=None, tracer=None,
+                 root_span=None):
         self._plan = plan
         self._on_finish = on_finish
         self.stats = RequestStats(submitted_at=time.perf_counter(),
                                   shards=len(feeds))
+        self._tracer = tracer
+        self._root_span = root_span
+        self.profile = QueryProfile(
+            table=plan.table, shards=len(feeds),
+            trace_id=root_span.trace_id if root_span is not None else None,
+        )
         self._stream = self._blocks(feeds)
         self._finished = False
 
@@ -48,10 +56,22 @@ class StreamingCursor:
     def _blocks(self, feeds):
         from .plan import filter_blocks
 
-        return filter_blocks(
-            self._plan,
-            rebase_block_streams(feed.blocks() for feed in feeds),
-        )
+        # Count what each shard's pipeline actually streamed (pre-filter,
+        # so union over-scan from job sharing is visible in the profile).
+        streams = []
+        for feed, spec in zip(feeds, self._plan.parts):
+            shard_prof = ShardScanProfile(shard=spec.pinned.name)
+            self.profile.per_shard.append(shard_prof)
+            streams.append(self._counted(feed, shard_prof))
+        return filter_blocks(self._plan, rebase_block_streams(streams))
+
+    @staticmethod
+    def _counted(feed, shard_prof: ShardScanProfile):
+        for rid, arrays in feed.blocks():
+            shard_prof.blocks += 1
+            if arrays:
+                shard_prof.rows += len(next(iter(arrays.values())))
+            yield rid, arrays
 
     # -- consumption -------------------------------------------------------
 
@@ -119,6 +139,18 @@ class StreamingCursor:
             return
         self._finished = True
         self.stats.finished_at = time.perf_counter()
+        prof = self.profile
+        prof.rows = self.stats.rows
+        prof.blocks = self.stats.blocks
+        prof.shared_jobs = self.stats.shared_jobs
+        prof.total_s = self.stats.total_time
+        prof.time_to_first_block_s = self.stats.time_to_first_block
+        if self._root_span is not None:
+            # Finish the request root before on_finish runs the
+            # slow-query check, so the rendered tree includes it.
+            self._root_span.attrs["rows"] = self.stats.rows
+            self._root_span.attrs["blocks"] = self.stats.blocks
+            self._tracer.finish(self._root_span)
         if self._on_finish is not None:
             self._on_finish(self)
 

@@ -39,7 +39,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 class ServiceError(RuntimeError):
@@ -155,6 +155,10 @@ class ShardScanJob:
         self._finished = False
         self._emitted = 0  # blocks fanned out so far (under _lock)
         self._done_callbacks: list = []
+        # (tracer, parent ctx) set by the service on new jobs; the span
+        # parents under the request that *created* the job (a shared job
+        # belongs to its first submitter's trace).
+        self.trace = None
 
     @property
     def first_feed(self) -> ShardFeed:
@@ -399,6 +403,13 @@ class RequestStats:
             return None
         return self.finished_at - self.submitted_at
 
+    def as_dict(self) -> dict:
+        """JSON-able view, including the derived timings."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["time_to_first_block"] = self.time_to_first_block
+        out["total_time"] = self.total_time
+        return out
+
 
 @dataclass
 class ServiceStats:
@@ -425,3 +436,14 @@ class ServiceStats:
         with self._lock:
             for name, delta in deltas.items():
                 setattr(self, name, getattr(self, name) + delta)
+
+    def as_dict(self) -> dict:
+        """Coherent JSON-able view taken under the stats lock. Prefer
+        this (or ``Database.metrics()``) over reading fields directly."""
+        with self._lock:
+            return {f.name: getattr(self, f.name) for f in fields(self)
+                    if not f.name.startswith("_")}
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"ServiceStats({body})"

@@ -183,6 +183,11 @@ def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
         from ..engine.scan import fanout_scan_blocks
         from ..exec.router import ScanSource
 
+        # Capture the caller's span context here: the sources run on
+        # driver-pool threads, where contextvars would read nothing.
+        tracer = router.tracer
+        trace_ctx = tracer.ctx() if tracer is not None and tracer.enabled \
+            else None
         sources = [
             ScanSource(
                 (lambda spec=spec: spec.stream(block_rows=block_rows)),
@@ -192,6 +197,7 @@ def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
                 sid_lo=spec.sid_lo,
                 sid_hi=spec.sid_hi,
                 block_rows=block_rows,
+                trace_ctx=trace_ctx,
             )
             for spec in plan.parts
         ]

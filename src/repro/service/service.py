@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
 from ..core.merge import MERGE_BLOCK_ROWS
@@ -187,6 +188,7 @@ class QueryService:
         # exceeds max_inflight outright.
         self._admission.acquire(len(requests))
         own_pin = pin is None
+        plan_t0 = time.perf_counter()
         try:
             if own_pin:
                 pin = self.pin()
@@ -205,6 +207,8 @@ class QueryService:
                 pin.release()
             self._admission.release(len(requests))
             raise
+        plan_s = time.perf_counter() - plan_t0
+        tracer = self._db.obs.tracer
         lease = _PinLease(pin, owns=own_pin)
         with self._leases_lock:
             self._leases.add(lease)
@@ -215,6 +219,15 @@ class QueryService:
         submitted_cu = 0
         try:
             for plan in plans:
+                # One root span per request; shard jobs and catch-ups
+                # parent to it by explicit context (they run on pool
+                # threads). Finished by the cursor.
+                root = (
+                    tracer.begin("query", table=plan.table,
+                                 shards=len(plan.parts))
+                    if tracer.enabled else None
+                )
+                ctx = root.ctx() if root is not None else None
                 feeds = []
                 shared = 0
                 attached = 0
@@ -226,6 +239,8 @@ class QueryService:
                     if was_shared:
                         shared += 1
                     else:
+                        if ctx is not None:
+                            job.trace = (tracer, ctx)
                         new_jobs.append(job)
                     if catch_up is not None:
                         # Mid-scan attach: the catch-up sub-scan reads
@@ -235,7 +250,7 @@ class QueryService:
                         attached += 1
                         lease.retain()
                         catch_ups.append(
-                            self._guard_catch_up(catch_up, lease))
+                            self._guard_catch_up(catch_up, lease, ctx))
                     # The job reads the pinned objects until it finishes —
                     # hold the lease for it, so an early cursor close
                     # cannot let maintenance rewrite state a live scan
@@ -244,8 +259,10 @@ class QueryService:
                     job.add_done_callback(lambda: self._lease_done(lease))
                 lease.retain()  # the cursor's own hold
                 cursor = StreamingCursor(
-                    plan, feeds, on_finish=self._make_finisher(lease))
+                    plan, feeds, on_finish=self._make_finisher(lease),
+                    tracer=tracer, root_span=root)
                 cursor.stats.shared_jobs = shared
+                cursor.profile.plan_s = plan_s  # batch planning time
                 cursors.append(cursor)
                 self.stats.bump(
                     **{"range_queries" if plan.filtered else "queries": 1},
@@ -255,8 +272,7 @@ class QueryService:
                 )
             # Only now do scans start: the batch had its sharing chance.
             while submitted < len(new_jobs):
-                self._pool.submit(self._scheduler.run_job,
-                                  new_jobs[submitted])
+                self._pool.submit(self._run_job, new_jobs[submitted])
                 submitted += 1
             while submitted_cu < len(catch_ups):
                 self._pool.submit(catch_ups[submitted_cu])
@@ -308,27 +324,47 @@ class QueryService:
         # Count only admitted submissions (a ServiceClosed above must not
         # inflate the write counters).
         self.stats.bump(**{counter: 1})
-        manager = self._db.manager
+        obs = self._db.obs
 
         def locked():
-            with self._write_lock:
-                # Stage the WAL record under the lock, wait for the
-                # shared group fsync outside it: the next writer runs its
-                # commit CPU work while ours is being made durable.
-                with manager.defer_durability():
-                    result = work()
-                ticket = manager.take_deferred_ticket()
-            if ticket is not None:
-                manager.wal.wait_durable(ticket)
-                self.stats.bump(
-                    group_commits=1,
-                    group_flushes_led=1 if ticket.led else 0,
-                    group_commits_coalesced=(
-                        1 if ticket.group_size > 1 else 0),
-                )
-            return result
+            if obs.tracer.enabled:
+                # Root span for the write path; txn.commit (manager) and
+                # wal.group_flush (a led flush) nest under it ambiently.
+                with obs.tracer.start("service.write", kind=counter):
+                    return self._write_locked(work, obs)
+            return self._write_locked(work, obs)
 
         return self._pool.submit(locked)
+
+    def _write_locked(self, work, obs):
+        manager = self._db.manager
+        with self._write_lock:
+            # Stage the WAL record under the lock, wait for the
+            # shared group fsync outside it: the next writer runs its
+            # commit CPU work while ours is being made durable.
+            with manager.defer_durability():
+                result = work()
+            ticket = manager.take_deferred_ticket()
+        if ticket is not None:
+            t0 = time.perf_counter()
+            if obs.tracer.enabled:
+                with obs.tracer.start("wal.ack_wait") as span:
+                    manager.wal.wait_durable(ticket)
+                    span.attrs.update(led=ticket.led,
+                                      group_size=ticket.group_size)
+            else:
+                manager.wal.wait_durable(ticket)
+            # The deferred ack wait IS this commit's durability stage
+            # (the manager timed ~0 for it inside the lock).
+            obs.commit_stage_seconds["durability_wait"].observe(
+                time.perf_counter() - t0)
+            self.stats.bump(
+                group_commits=1,
+                group_flushes_led=1 if ticket.led else 0,
+                group_commits_coalesced=(
+                    1 if ticket.group_size > 1 else 0),
+            )
+        return result
 
     # -- asyncio façade ----------------------------------------------------
 
@@ -366,13 +402,33 @@ class QueryService:
                 except RuntimeError:
                     pass  # closing; close() handles the leftovers
 
-    def _guard_catch_up(self, catch_up, lease: _PinLease):
+    def _run_job(self, job) -> None:
+        """Pool entry point for a scheduled shard job: run it under a
+        ``shard.scan`` span parented (by explicit context — this is a
+        pool thread) to the request that created the job."""
+        trace = job.trace
+        if trace is None:
+            self._scheduler.run_job(job)
+            return
+        tracer, ctx = trace
+        with tracer.start("shard.scan", parent=ctx,
+                          shard=job.spec.pinned.name) as span:
+            self._scheduler.run_job(job)
+            span.attrs["blocks"] = job._emitted
+            span.attrs["consumers"] = job.consumers
+
+    def _guard_catch_up(self, catch_up, lease: _PinLease, ctx=None):
         """Wrap a mid-scan catch-up sub-scan: it primes its deferred feed
         whatever happens, and drops its pin-lease hold when done."""
 
         def run() -> None:
             try:
-                catch_up()
+                tracer = self._db.obs.tracer
+                if ctx is not None and tracer.enabled:
+                    with tracer.start("shard.catchup", parent=ctx):
+                        catch_up()
+                else:
+                    catch_up()
             finally:
                 self._lease_done(lease)
 
@@ -382,6 +438,7 @@ class QueryService:
         def on_finish(cursor: StreamingCursor) -> None:
             self.stats.bump(blocks_streamed=cursor.stats.blocks,
                             rows_streamed=cursor.stats.rows)
+            self._db.obs.observe_query(cursor.profile)
             self._lease_done(lease)
             if self._admission.release() == 0 and not self._closed:
                 try:

@@ -413,6 +413,12 @@ class ShardedTable:
             executor = (router.fanout_executor()
                         if router is not None else None) \
                 or self._pool_executor()
+        # Span context captured on the submitting thread: fanned sources
+        # run on pool threads where contextvars would read nothing, yet
+        # their worker-side spans should stitch under the query span.
+        tracer = getattr(router, "tracer", None)
+        trace_ctx = tracer.ctx() if tracer is not None and tracer.enabled \
+            else None
         sources = []
         for name in self.shard_names:
             state = self.db.manager.state_of(name)
@@ -425,7 +431,7 @@ class ShardedTable:
 
             sources.append(ScanSource(
                 local, stable=state.stable, layers=layers, columns=columns,
-                block_rows=batch_rows,
+                block_rows=batch_rows, trace_ctx=trace_ctx,
             ))
 
         def stream():

@@ -35,6 +35,17 @@ class IOSnapshot:
             bytes_by_column=by_col,
         )
 
+    def as_dict(self) -> dict:
+        """JSON-able view; ``(table, column)`` keys join as "table.col"."""
+        return {
+            "bytes_read": self.bytes_read,
+            "blocks_read": self.blocks_read,
+            "bytes_by_column": {
+                ".".join(key) if isinstance(key, tuple) else str(key): n
+                for key, n in sorted(self.bytes_by_column.items())
+            },
+        }
+
 
 class IOStats:
     """Mutable counters shared by a :class:`~repro.storage.buffer.BufferPool`.
@@ -114,3 +125,14 @@ class IOStats:
             self.bytes_read = 0
             self.blocks_read = 0
             self.bytes_by_column.clear()
+
+    def as_dict(self) -> dict:
+        """Coherent JSON-able view (taken as one snapshot under the
+        lock). Prefer this — or ``Database.metrics()`` — over reading
+        the counter fields directly."""
+        return self.snapshot().as_dict()
+
+    def __repr__(self) -> str:
+        return (f"IOStats(bytes_read={self.bytes_read}, "
+                f"blocks_read={self.blocks_read}, "
+                f"columns={len(self.bytes_by_column)})")

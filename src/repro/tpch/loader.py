@@ -13,18 +13,22 @@ def load_database(
     block_rows: int = 4096,
     buffer_capacity: int | None = None,
     lineitem_shards: int | None = None,
+    **db_kwargs,
 ) -> Database:
     """Bulk-load all eight tables into a fresh database.
 
     ``lineitem_shards`` loads lineitem — the largest, refresh-heavy table
     — as a range-sharded table with that many orderkey-range shards;
     queries fan out per shard and the RF1/RF2 refresh streams route their
-    batches shard by shard.
+    batches shard by shard. Extra keyword arguments reach the
+    ``Database`` constructor (e.g. ``slow_query_ms=...``, ``trace=True``
+    to run the benchmark with telemetry on).
     """
     db = Database(
         compressed=compressed,
         block_rows=block_rows,
         buffer_capacity=buffer_capacity,
+        **db_kwargs,
     )
     for name, schema in tpch_schema.SCHEMAS.items():
         if name == "lineitem" and lineitem_shards is not None:

@@ -42,7 +42,7 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 
 @dataclass(frozen=True)
@@ -98,6 +98,11 @@ class GroupCommitStats:
     max_group: int = 0     # largest group flushed so far
     rewrite_drains: int = 0  # tickets resolved by a whole-file rewrite
 
+    def as_dict(self) -> dict:
+        """JSON-able view; the surface ``Database.metrics()`` reads.
+        Prefer this over poking the counter fields directly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class GroupCommitCoordinator:
     """The staging queue + leader election for one :class:`WriteAheadLog`.
@@ -118,6 +123,9 @@ class GroupCommitCoordinator:
         self.policy = policy or GroupCommitPolicy()
         self.stats = GroupCommitStats()
         self.crash_hook = None
+        # Observability bundle (set by the owning Database): flush
+        # latency histogram + a wal.group_flush span per leader flush.
+        self.obs = None
         self._mutex = threading.Lock()      # guards _staged + stats
         self.flush_lock = threading.Lock()  # one leader (or rewrite) at a time
         self._staged: list[tuple[list, GroupCommitTicket]] = []
@@ -184,20 +192,39 @@ class GroupCommitCoordinator:
             for path, line in parts:
                 by_path.setdefault(path, []).append(line)
         paths = list(by_path)
+        obs = self.obs
+        t_flush = time.perf_counter() if obs is not None else 0.0
+        fsync_s = 0.0
         try:
             created = self.wal._write_lines(by_path)
             if self.crash_hook is not None:
                 self.crash_hook("group-pre-fsync", paths)
             if self.wal.fsync:
+                t_sync = time.perf_counter() if obs is not None else 0.0
                 self._fsync_paths(paths)
                 for path in created:
                     self.wal._fsync_parent(path)
+                if obs is not None:
+                    fsync_s = time.perf_counter() - t_sync
         except BaseException as exc:
             for _, ticket in batch:
                 ticket.error = exc
                 ticket._event.set()
             raise
         size = len(batch)
+        if obs is not None:
+            flush_s = time.perf_counter() - t_flush
+            obs.group_flush_seconds.observe(flush_s)
+            tracer = obs.tracer
+            if tracer.enabled:
+                # The leader flushes on a committing thread, so the span
+                # nests under that thread's txn.commit / ack-wait span.
+                span = tracer.begin("wal.group_flush", records=size,
+                                    files=len(paths),
+                                    fsync_ms=round(fsync_s * 1e3, 3))
+                span.start_s = time.time() - flush_s
+                span.duration_s = flush_s
+                tracer.finish(span)
         with self._mutex:
             self.stats.flushes += 1
             if self.wal.fsync:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import contextlib
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from ..core.pdt import PDT
 from ..core.propagate import propagate_batch
@@ -67,6 +67,11 @@ class ManagerStats:
     snapshot_copies: int = 0   # copy-on-commit: master replaced while loaned
     snapshot_reuses: int = 0   # snapshots handed out by reference (loans)
 
+    def as_dict(self) -> dict:
+        """JSON-able view; the surface ``Database.metrics()`` reads.
+        Prefer this over poking the counter fields directly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
 
 class TransactionManager:
     """Lock-free transaction management over PDT-layered tables."""
@@ -88,6 +93,10 @@ class TransactionManager:
         self._deferred = threading.local()
         self.sparse_granularity = sparse_granularity
         self.stats = ManagerStats()
+        # Observability bundle (set by the owning Database): when present,
+        # _finish times its stages into the commit histograms and emits a
+        # txn.commit span. A bare manager (tests, tools) pays nothing.
+        self.obs = None
         self._commit_listeners: list = []
         self._next_pin_id = 1
         self._pins: dict[int, SnapshotPin] = {}
@@ -284,12 +293,41 @@ class TransactionManager:
         self._finish(txn, ok=False)
 
     def _finish(self, txn: Transaction, ok: bool) -> None:
+        obs = self.obs
+        if obs is None:
+            self._finish_inner(txn, ok, None)
+            return
+        # Stage timings land in `timings` only for commits that changed
+        # data — the per-commit Python overhead the ROADMAP wants
+        # profiled. The span nests any group-flush span the commit leads.
+        timings: dict = {}
+        t0 = time.perf_counter()
+        try:
+            if obs.tracer.enabled:
+                with obs.tracer.start("txn.commit" if ok else "txn.abort",
+                                      txn_id=txn.txn_id) as span:
+                    self._finish_inner(txn, ok, timings)
+                    span.attrs.update({
+                        f"{k}_ms": round(v * 1e3, 3)
+                        for k, v in timings.items()
+                    })
+            else:
+                self._finish_inner(txn, ok, timings)
+        finally:
+            if timings:
+                obs.commit_seconds.observe(time.perf_counter() - t0)
+                for stage, secs in timings.items():
+                    obs.commit_stage_seconds[stage].observe(secs)
+
+    def _finish_inner(self, txn: Transaction, ok: bool,
+                      timings: dict | None) -> None:
         if txn.txn_id not in self._running:
             raise TransactionError(f"transaction {txn.txn_id} not running")
         trans_pdts = {
             name: pdt for name, pdt in txn._trans.items() if not pdt.is_empty()
         }
         conflict: TransactionConflict | None = None
+        t_ser = time.perf_counter() if timings is not None else 0.0
         for record in list(self._tz):
             if record.lsn <= txn.start_lsn:
                 continue  # committed before txn started: no overlap
@@ -306,6 +344,7 @@ class TransactionManager:
             record.refcnt -= 1
             if record.refcnt == 0:
                 self._tz.remove(record)
+        ser_s = (time.perf_counter() - t_ser) if timings is not None else 0.0
         del self._running[txn.txn_id]
 
         if not ok or conflict is not None:
@@ -316,6 +355,8 @@ class TransactionManager:
             return
 
         ticket = None
+        t_prop = time.perf_counter() if timings is not None else 0.0
+        wal_s = 0.0
         if trans_pdts:
             self._lsn += 1
             for name, pdt in trans_pdts.items():
@@ -332,7 +373,10 @@ class TransactionManager:
                     propagate_batch(state.write_pdt, pdt)
                 state.last_commit_lsn = self._lsn
                 self.stats.propagations += 1
+            t_wal = time.perf_counter() if timings is not None else 0.0
             ticket = self.wal.append_commit(self._lsn, trans_pdts)
+            if timings is not None:
+                wal_s = time.perf_counter() - t_wal
             if self._running:
                 self._tz.append(
                     _CommitRecord(
@@ -343,9 +387,13 @@ class TransactionManager:
                 )
         txn.status = TxnStatus.COMMITTED
         self.stats.commits += 1
+        prop_s = 0.0
+        if timings is not None and trans_pdts:
+            prop_s = t_wal - t_prop  # propagation ends at the WAL append
         if trans_pdts:
             for listener in self._commit_listeners:
                 listener(list(trans_pdts))
+        wait_s = 0.0
         if ticket is not None:
             # Group commit: the record is staged, not yet fsynced. Wait
             # here (after listeners — a listener-triggered checkpoint
@@ -354,7 +402,13 @@ class TransactionManager:
             if getattr(self._deferred, "active", False):
                 self._deferred.ticket = ticket
             else:
+                t_wait = time.perf_counter() if timings is not None else 0.0
                 self.wal.wait_durable(ticket)
+                if timings is not None:
+                    wait_s = time.perf_counter() - t_wait
+        if timings is not None and trans_pdts:
+            timings.update(serialize=ser_s, propagate=prop_s,
+                           wal_append=wal_s, durability_wait=wait_s)
 
     def _write_pdt_shared(self, name: str, state: TableState) -> bool:
         """Is the master Write-PDT loaned to anyone who must not see the

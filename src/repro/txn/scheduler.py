@@ -35,7 +35,7 @@ from __future__ import annotations
 
 import enum
 import logging
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 
 from .checkpoint import checkpoint_table, checkpoint_table_range
 from .manager import TransactionManager
@@ -285,6 +285,11 @@ class SchedulerStats:
     pin_deferrals: int = 0
     overdue_pin_warnings: int = 0
     oldest_pin_age_s: float = 0.0  # oldest pin age seen at a deferral
+
+    def as_dict(self) -> dict:
+        """JSON-able view; the surface ``Database.metrics()`` reads.
+        Prefer this over poking the counter fields directly."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
 
 
 class CheckpointScheduler:

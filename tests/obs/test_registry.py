@@ -1,0 +1,178 @@
+"""MetricsRegistry unit contract: instruments, snapshots, exposition."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_LATENCY_BUCKETS_S,
+    MetricsRegistry,
+    prometheus_text,
+)
+from repro.obs.registry import Histogram
+
+
+class TestInstruments:
+    def test_counter_idempotent_by_name(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+
+    def test_cross_type_name_conflict(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x")
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_callback(self):
+        reg = MetricsRegistry()
+        box = {"v": 1}
+        g = reg.gauge("depth", fn=lambda: box["v"])
+        assert g.value == 1
+        box["v"] = 7
+        assert g.value == 7
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 0.5))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", buckets=())
+
+    def test_default_buckets_are_valid(self):
+        Histogram("h", buckets=DEFAULT_LATENCY_BUCKETS_S)
+
+
+class TestHistogramBuckets:
+    """Prometheus ``le`` semantics: a bucket's bound is inclusive."""
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)   # == first bound -> bucket 0
+        h.observe(1.5)   # bucket 1
+        h.observe(2.0)   # == second bound -> bucket 1
+        h.observe(4.0)   # bucket 2
+        h.observe(4.01)  # overflow
+        assert h.as_dict()["counts"] == [1, 2, 1, 1]
+        assert h.count == 5
+        assert h.sum == pytest.approx(12.51)
+
+    def test_quantiles(self):
+        h = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for _ in range(98):
+            h.observe(0.5)
+        h.observe(3.0)
+        h.observe(100.0)
+        assert h.quantile(0.50) == 1.0
+        assert h.quantile(0.99) == 4.0
+        # Overflow reports the largest finite bound, never None/inf.
+        assert h.quantile(1.0) == 4.0
+
+    def test_empty_quantile_is_none(self):
+        h = Histogram("h", buckets=(1.0,))
+        assert h.quantile(0.5) is None
+        assert h.as_dict()["p50"] is None
+
+
+class TestThreadSafety:
+    def test_concurrent_observes_lose_nothing(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        h = reg.histogram("lat", buckets=(0.5,))
+        n_threads, per_thread = 8, 5_000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = n_threads * per_thread
+        assert c.value == total
+        assert h.count == total
+        assert h.as_dict()["counts"] == [total, 0]
+
+
+class TestSnapshot:
+    def test_snapshot_is_jsonable_and_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("ops")
+        h = reg.histogram("lat")
+        c.inc(3)
+        h.observe(0.01)
+        snap1 = reg.snapshot()
+        json.dumps(snap1)  # must not raise
+        c.inc()
+        h.observe(0.02)
+        snap2 = reg.snapshot()
+        assert snap2["counters"]["ops"] > snap1["counters"]["ops"]
+        assert snap2["histograms"]["lat"]["count"] > \
+            snap1["histograms"]["lat"]["count"]
+        # The earlier snapshot is unaffected (snapshots are copies).
+        assert snap1["counters"]["ops"] == 3
+
+    def test_source_exception_does_not_kill_snapshot(self):
+        reg = MetricsRegistry()
+        reg.counter("ok").inc()
+
+        def broken():
+            raise RuntimeError("boom")
+
+        reg.register_source("bad", broken)
+        snap = reg.snapshot()
+        assert snap["counters"]["ok"] == 1
+        assert "error" in snap["sources"]["bad"]
+
+    def test_merge_snapshots(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 2), (b, 5)):
+            reg.counter("ops").inc(n)
+            h = reg.histogram("lat", buckets=(1.0, 2.0))
+            for _ in range(n):
+                h.observe(0.5)
+            reg.register_source("io", lambda n=n: {"bytes": n * 10})
+        merged = MetricsRegistry.merge_snapshots(a.snapshot(), b.snapshot())
+        assert merged["counters"]["ops"] == 7
+        assert merged["histograms"]["lat"]["count"] == 7
+        assert merged["histograms"]["lat"]["counts"] == [7, 0, 0]
+        assert merged["sources"]["io"]["bytes"] == 70
+
+    def test_merge_rejects_mismatched_buckets(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0,))
+        b.histogram("lat", buckets=(2.0,))
+        with pytest.raises(ValueError):
+            MetricsRegistry.merge_snapshots(a.snapshot(), b.snapshot())
+
+
+class TestPrometheusText:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.counter("ops").inc(4)
+        h = reg.histogram("lat", buckets=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(5.0)
+        reg.register_source("io", lambda: {"bytes_read": 123,
+                                           "per": {"t.k": 1}})
+        text = prometheus_text(reg.snapshot())
+        assert "# TYPE repro_ops counter" in text
+        assert "repro_ops 4" in text
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        assert "repro_io_bytes_read 123" in text
+        # Dotted source keys are sanitized into metric-name charset.
+        assert "repro_io_per_t_k 1" in text

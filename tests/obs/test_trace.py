@@ -1,0 +1,119 @@
+"""Tracer/TraceSink unit contract: parenting, propagation, the ring."""
+
+import os
+import threading
+
+from repro.obs import Span, TraceSink, Tracer, worker_span_dict
+
+
+def make_tracer(capacity=64):
+    sink = TraceSink(capacity)
+    return Tracer(sink), sink
+
+
+class TestSpanLifecycle:
+    def test_nested_start_parents_ambiently(self):
+        tracer, sink = make_tracer()
+        with tracer.start("outer") as outer:
+            with tracer.start("inner") as inner:
+                assert inner.trace_id == outer.trace_id
+                assert inner.parent_id == outer.span_id
+        spans = sink.spans()
+        assert [s.name for s in spans] == ["inner", "outer"]
+        assert all(s.duration_s is not None for s in spans)
+
+    def test_error_status_on_exception(self):
+        tracer, sink = make_tracer()
+        try:
+            with tracer.start("op"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert sink.spans()[0].status == "error"
+
+    def test_disabled_tracer_is_inert(self):
+        tracer = Tracer(None)
+        assert not tracer.enabled
+        with tracer.start("op") as span:
+            span.attrs["k"] = 1  # absorbed, not recorded
+        assert tracer.ctx() is None
+        tracer.record_orphan({"trace_id": "t", "span_id": "s"}, "x")
+
+    def test_begin_finish_without_ambient_context(self):
+        tracer, sink = make_tracer()
+        span = tracer.begin("root")
+        assert tracer.current() is None  # begin never sets the ambient
+        tracer.finish(span)
+        assert sink.spans()[0].parent_id is None
+
+
+class TestCrossThreadPropagation:
+    def test_explicit_ctx_crosses_threads(self):
+        tracer, sink = make_tracer()
+        root = tracer.begin("root")
+        ctx = root.ctx()
+        done = threading.Event()
+
+        def worker():
+            # A fresh thread has no ambient span; the explicit ctx is
+            # the only way to stay in the trace.
+            assert tracer.current() is None
+            with tracer.start("child", parent=ctx):
+                pass
+            done.set()
+
+        threading.Thread(target=worker).start()
+        assert done.wait(5)
+        tracer.finish(root)
+        child = next(s for s in sink.spans() if s.name == "child")
+        assert child.trace_id == root.trace_id
+        assert child.parent_id == root.span_id
+
+    def test_worker_span_dict_round_trip(self):
+        tracer, sink = make_tracer()
+        root = tracer.begin("root")
+        d = worker_span_dict(root.ctx(), "worker.scan", 123.0, 0.5,
+                             {"blocks": 3})
+        span = Span.from_dict(d)
+        sink.record(span)
+        tracer.finish(root)
+        roots = sink.tree(root.trace_id)
+        assert len(roots) == 1
+        assert [n.span.name for n in roots[0].children] == ["worker.scan"]
+        assert roots[0].children[0].span.attrs["blocks"] == 3
+        assert roots[0].children[0].span.pid == os.getpid()
+
+
+class TestSink:
+    def test_ring_drops_oldest_and_counts(self):
+        tracer, sink = make_tracer(capacity=2)
+        for i in range(4):
+            tracer.finish(tracer.begin(f"s{i}"))
+        assert [s.name for s in sink.spans()] == ["s2", "s3"]
+        assert sink.dropped == 2
+
+    def test_orphan_span_in_tree(self):
+        tracer, sink = make_tracer()
+        root = tracer.begin("root")
+        tracer.record_orphan(root.ctx(), "worker.scan", pid=999)
+        tracer.finish(root)
+        tree = sink.tree(root.trace_id)
+        orphan = tree[0].children[0].span
+        assert orphan.status == "orphan"
+        assert orphan.duration_s is None
+        assert "[ORPHAN]" in sink.render(root.trace_id)
+
+    def test_missing_parent_promotes_to_root(self):
+        tracer, sink = make_tracer()
+        sink.record(Span(trace_id="t1", span_id="a", parent_id="gone",
+                         name="stray"))
+        assert [n.span.name for n in sink.tree("t1")] == ["stray"]
+
+    def test_render_shows_hierarchy(self):
+        tracer, sink = make_tracer()
+        with tracer.start("root"):
+            with tracer.start("child"):
+                pass
+        tid = sink.spans()[0].trace_id
+        text = sink.render(tid)
+        assert "root" in text and "└─ child" in text
