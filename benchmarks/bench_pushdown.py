@@ -1,0 +1,177 @@
+"""Push-down — filtered-aggregate shard scans vs central evaluation.
+
+A TPC-H Q6-style filtered aggregate over a 4-shard lineitem-like table
+(sorted by ship date, carrying a delta batch), run two ways per
+executor leg:
+
+* **central** — stream every qualifying-scan row to the cursor, filter
+  and aggregate in the consumer (how every query ran before push-down);
+* **pushed** — ship the predicate + partial-aggregate spec into the
+  shard scan jobs; only per-shard partial blocks reach the cursor.
+
+Two gates:
+
+* **Correctness**: the pushed answer is byte-identical to the central
+  one, on the thread *and* the process executor leg.
+* **Reduction**: rows streamed to the cursor drop by >= 5x on the
+  pushed run (the recorded series feeds the regression gate via
+  ``speedup_x`` = central-streamed / pushed-streamed).
+
+Run: ``pytest benchmarks/bench_pushdown.py -q -s``
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Database, DataType, Schema
+from repro.bench import Report, scaled
+from repro.engine import expr as ex
+
+N_ROWS = scaled(120_000)
+SHARDS = 4
+REDUCTION_FLOOR = 5.0
+
+SCHEMA = Schema.build(
+    ("l_shipdate", DataType.INT64), ("l_orderkey", DataType.INT64),
+    ("l_quantity", DataType.INT64), ("l_extendedprice", DataType.INT64),
+    ("l_discount", DataType.FLOAT64), ("l_returnflag", DataType.STRING),
+    sort_key=("l_shipdate", "l_orderkey"),
+)
+
+# ~1 year out of ~7 qualifies on shipdate; discount/quantity cut further.
+DATE_LO, DATE_HI = 2_000, 2_365
+WHERE = ex.and_(
+    ex.ge("l_shipdate", DATE_LO), ex.lt("l_shipdate", DATE_HI),
+    ex.between("l_discount", 4 / 256.0, 8 / 256.0),
+    ex.lt("l_quantity", 24),
+)
+AGG = ex.AggSpec(
+    ("l_returnflag",),
+    {"sum_price": ("l_extendedprice", "sum"),
+     "sum_qty": ("l_quantity", "sum"),
+     "avg_disc": ("l_discount", "avg"),
+     "n": ("*", "count")},
+)
+
+_report = Report(
+    f"Push-down: filtered aggregate over {SHARDS}-shard lineitem-style "
+    f"table ({N_ROWS} rows), rows streamed to the cursor",
+    ["executor", "mode", "ms", "rows_streamed"],
+)
+_streamed: dict[tuple[str, str], int] = {}
+
+
+def seed_arrays():
+    rng = np.random.default_rng(19)
+    dates = np.sort(rng.integers(0, 2_556, N_ROWS)).astype(np.int64)
+    return {
+        "l_shipdate": dates,
+        "l_orderkey": np.arange(N_ROWS, dtype=np.int64),
+        "l_quantity": rng.integers(1, 51, N_ROWS).astype(np.int64),
+        "l_extendedprice": rng.integers(900, 105_000, N_ROWS).astype(
+            np.int64),
+        # Dyadic discounts (multiples of 1/256): float sums are exact in
+        # any order, so pushed partial-merge == central single-pass on
+        # bytes, not just approximately.
+        "l_discount": rng.integers(0, 16, N_ROWS) / 256.0,
+        "l_returnflag": np.array(
+            [("R", "A", "N")[i % 3] for i in range(N_ROWS)], dtype=object),
+    }
+
+
+def build_db(root, executor: str) -> Database:
+    db = Database(compressed=True, storage="mmap", storage_path=str(root),
+                  executor=executor, workers=4)
+    db.create_sharded_table_from_arrays("t", SCHEMA, seed_arrays(),
+                                        shards=SHARDS)
+    keys = seed_arrays()
+    ops = [("mod", (int(keys["l_shipdate"][i]), i), "l_quantity", 5)
+           for i in range(0, N_ROWS, 1_013)]
+    db.apply_batch("t", ops)
+    return db
+
+
+def run_leg(svc, pushed: bool):
+    t0 = time.perf_counter()
+    before = svc.stats.rows_streamed
+    if pushed:
+        rel = svc.submit_query("t", where=WHERE, agg=AGG).to_relation()
+    else:
+        rel = svc.submit_query("t").to_relation()
+        mask = WHERE.mask({c: rel[c] for c in rel.column_names})
+        rel = rel.filter(mask).group_by("l_returnflag").agg(
+            sum_price=("l_extendedprice", "sum"),
+            sum_qty=("l_quantity", "sum"),
+            avg_disc=("l_discount", "avg"),
+            n=("*", "count"),
+        )
+    elapsed = (time.perf_counter() - t0) * 1000
+    streamed = svc.stats.rows_streamed - before
+    return rel, elapsed, streamed
+
+
+@pytest.fixture(scope="module", autouse=True)
+def report_at_end():
+    yield
+    if not _streamed:
+        return
+    _report.print()
+    _report.save("pushdown")
+    reduction = Report(
+        "Push-down streamed-row reduction (central / pushed)",
+        ["executor", "speedup_x"],
+    )
+    payload = {"title": reduction.title, "columns": reduction.columns,
+               "rows": []}
+    for executor in ("thread", "process"):
+        central = _streamed.get((executor, "central"))
+        pushed = _streamed.get((executor, "pushed"))
+        if not central or not pushed:
+            continue
+        ratio = central / pushed
+        reduction.add(executor, ratio)
+        payload["rows"].append([executor, ratio])
+    reduction.print()
+    out = Path(__file__).resolve().parent / "results"
+    out.mkdir(parents=True, exist_ok=True)
+    (out / "pushdown_reduction.json").write_text(
+        json.dumps(payload, indent=2))
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+def test_pushdown_reduction(tmp_path, executor):
+    db = build_db(tmp_path / executor, executor)
+    try:
+        with db.serve(workers=4) as svc:
+            central_rel, central_ms, central_rows = run_leg(svc, False)
+            pushed_rel, pushed_ms, pushed_rows = run_leg(svc, True)
+            # Gate (a): byte-identical to central evaluation.
+            assert pushed_rel.column_names == central_rel.column_names
+            for c in central_rel.column_names:
+                a, b = pushed_rel[c], central_rel[c]
+                if a.dtype == object:
+                    assert a.tolist() == b.tolist(), c
+                else:
+                    assert a.tobytes() == b.tobytes(), c
+            if executor == "process":
+                assert db.exec_router.remote_jobs > 0
+                assert db.exec_router.expr_fallbacks == 0
+            _report.add(executor, "central", central_ms, central_rows)
+            _report.add(executor, "pushed", pushed_ms, pushed_rows)
+            _streamed[(executor, "central")] = central_rows
+            _streamed[(executor, "pushed")] = pushed_rows
+            # Gate (b): >= 5x fewer rows reach the cursor.
+            reduction = central_rows / max(pushed_rows, 1)
+            assert reduction >= REDUCTION_FLOOR, (
+                f"{executor}: streamed-row reduction {reduction:.1f}x "
+                f"< {REDUCTION_FLOOR}x "
+                f"({central_rows} central vs {pushed_rows} pushed)"
+            )
+    finally:
+        db.close()

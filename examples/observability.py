@@ -24,6 +24,7 @@ import tempfile
 import numpy as np
 
 from repro import Database, DataType, Schema
+from repro.engine import expr as ex
 from repro.obs import prometheus_text
 
 N_ROWS = 40_000  # 4 shards x 10k rows: enough to fan out to workers
@@ -63,8 +64,23 @@ def main() -> None:
         with db.serve() as svc:
             cursor = svc.submit_query("orders")
             rel = cursor.to_relation()
+            # Push-down: the predicate and partial aggregate run INSIDE
+            # the shard jobs, so one partial block per shard — not rows —
+            # streams back to the cursor.
+            pushed = svc.submit_query(
+                "orders", where=ex.lt("amount", 50),
+                agg=ex.AggSpec((), {"total": ("amount", "sum"),
+                                    "n": ("*", "count")}),
+            ).to_relation()
+            svc_stats = svc.stats.as_dict()
         print(f"query returned {rel.num_rows} rows "
               f"across {cursor.profile.shards} shards")
+        print(f"pushed-down aggregate over amount<50: "
+              f"n={int(pushed['n'][0])} total={int(pushed['total'][0])}")
+        print(f"push-down: {svc_stats['rows_scanned']} rows scanned "
+              f"in-job, {svc_stats['rows_pushed_down']} never streamed; "
+              f"{svc_stats['rows_streamed']} rows streamed to cursors "
+              f"overall (plain scan + partial blocks)")
 
         # --- the stitched span tree --------------------------------------
         print("\nspan tree (query -> shard.scan -> worker.scan):")

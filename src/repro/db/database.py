@@ -14,9 +14,29 @@ MergeScans that never read columns the query does not name, and delta
 maintenance (Propagate / checkpoint) runs autonomously under the configured
 checkpoint policy instead of requiring manual ``checkpoint()`` calls.
 
-See ``README.md`` for the layer map this facade fronts and ``DESIGN.md``
-for how the block-pipelined MergeScan and the checkpoint scheduler deviate
-from (and extend) the paper's C implementation.
+Thread-safety contract: a ``Database`` is **single-writer** — the inline
+``query*``/``insert``/``apply_batch``/``transaction`` surface assumes one
+caller thread at a time. Concurrent readers and writers go through
+:meth:`Database.serve`, whose :class:`~repro.service.QueryService` is the
+concurrency boundary (pinned lock-free reads, one serialized commit
+lock); any number of services may be attached. The observability
+surfaces (``metrics()``, the trace sink, ``io``) are internally locked
+and safe to read from any thread at any time.
+
+Lifecycle contract: construct → use → :meth:`close` (or use the instance
+as a context manager). ``close()`` closes attached services (joining
+their worker threads), shuts down shard scan executors and worker
+processes, and releases storage handles; after it, queries raise. A
+durable database killed *without* ``close()`` loses nothing:
+:meth:`recover` (or constructing over the same ``storage_path``) rebuilds
+tables from the published catalogs and replays the WAL — every
+acknowledged commit is restored, byte-identically.
+
+See ``README.md`` for the layer map this facade fronts,
+``docs/operations.md`` for the operator-facing knob and metrics catalog,
+and ``DESIGN.md`` for how the block-pipelined MergeScan and the
+checkpoint scheduler deviate from (and extend) the paper's C
+implementation.
 """
 
 from __future__ import annotations
@@ -452,7 +472,8 @@ class Database:
 
     def query(self, table: str, columns=None,
               timer: ScanTimer | None = None,
-              batch_rows: int = 4096, sk=None, pin=None) -> Relation:
+              batch_rows: int = 4096, sk=None, pin=None,
+              where=None, aggregate=None) -> Relation:
         """Scan the latest committed state (positional merge, no locks).
 
         Only the named ``columns`` are read from storage. Maintenance the
@@ -467,16 +488,39 @@ class Database:
         shard and through its sparse index to the qualifying SID range,
         instead of fanning out (see :meth:`query_point`). ``pin`` scans a
         :meth:`pin_snapshot` version instead of the latest state.
+
+        ``where`` (a :class:`~repro.engine.expr.Expr`) and ``aggregate``
+        (an :class:`~repro.engine.expr.AggSpec`) push filtering and
+        partial aggregation into the shard scans themselves: the router
+        prunes shards whose sort-key ranges cannot satisfy the predicate,
+        and only qualifying (or pre-aggregated) rows are materialized.
+        Results are identical to scanning everything and filtering /
+        aggregating centrally.
         """
         with self.obs.query_scope(table) as q:
             rel = self._query_impl(table, columns, timer, batch_rows, sk,
-                                   pin)
+                                   pin, where, aggregate)
             if q is not None:
                 q["rows"] = rel.num_rows
             return rel
 
-    def _query_impl(self, table, columns, timer, batch_rows, sk, pin
-                    ) -> Relation:
+    def _query_impl(self, table, columns, timer, batch_rows, sk, pin,
+                    where=None, aggregate=None) -> Relation:
+        if where is not None or aggregate is not None:
+            # Push-down rides the planned (pinned) scan path — plan_scan
+            # owns predicate pruning and partial-aggregate merging. An
+            # ephemeral pin of the current commit point keeps "latest
+            # state" semantics.
+            if pin is not None:
+                return self._query_pinned(table, pin, low=sk, high=sk,
+                                          columns=columns, timer=timer,
+                                          batch_rows=batch_rows,
+                                          where=where, aggregate=aggregate)
+            with self.pin_snapshot() as auto_pin:
+                return self._query_pinned(table, auto_pin, low=sk, high=sk,
+                                          columns=columns, timer=timer,
+                                          batch_rows=batch_rows,
+                                          where=where, aggregate=aggregate)
         if pin is not None:
             return self._query_pinned(table, pin, low=sk, high=sk,
                                       columns=columns, timer=timer,
@@ -544,15 +588,18 @@ class Database:
 
     def _query_pinned(self, table: str, pin, low=None, high=None,
                       columns=None, timer: ScanTimer | None = None,
-                      batch_rows: int = 4096) -> Relation:
+                      batch_rows: int = 4096, where=None,
+                      aggregate=None) -> Relation:
         """Materialize a scan of a pinned version (shared by ``query`` and
         ``query_range`` with ``pin=``): planned and pruned exactly like a
-        service read, executed inline."""
+        service read, executed inline. ``where``/``aggregate`` push the
+        predicate and partial aggregation into the shard scans."""
         import time
 
         from ..service.plan import iter_plan_blocks, plan_scan
 
-        plan = plan_scan(pin, table, low=low, high=high, columns=columns)
+        plan = plan_scan(pin, table, low=low, high=high, columns=columns,
+                         where=where, agg=aggregate)
         start = time.perf_counter()
         io_scope = (
             self._sharded[table].merge_io_after()
@@ -590,7 +637,8 @@ class Database:
         return rel
 
     def query_range(self, table: str, low=None, high=None, columns=None,
-                    batch_rows: int = 4096, pin=None) -> Relation:
+                    batch_rows: int = 4096, pin=None, where=None,
+                    aggregate=None) -> Relation:
         """Rows whose sort key (or SK prefix) lies in ``[low, high]``.
 
         Uses the table's *stale* sparse index — built once on the stable
@@ -599,16 +647,29 @@ class Database:
         the pruning correct under any update load (paper section 2.1,
         "Respecting Deletes"). ``pin`` evaluates the range against a
         :meth:`pin_snapshot` version instead of the latest state.
+        ``where``/``aggregate`` push filtering and partial aggregation
+        into the shard scans (see :meth:`query`).
         """
         with self.obs.query_scope(table) as q:
             rel = self._query_range_impl(table, low, high, columns,
-                                         batch_rows, pin)
+                                         batch_rows, pin, where, aggregate)
             if q is not None:
                 q["rows"] = rel.num_rows
             return rel
 
     def _query_range_impl(self, table, low, high, columns, batch_rows,
-                          pin) -> Relation:
+                          pin, where=None, aggregate=None) -> Relation:
+        if where is not None or aggregate is not None:
+            if pin is not None:
+                return self._query_pinned(table, pin, low=low, high=high,
+                                          columns=columns,
+                                          batch_rows=batch_rows,
+                                          where=where, aggregate=aggregate)
+            with self.pin_snapshot() as auto_pin:
+                return self._query_pinned(table, auto_pin, low=low,
+                                          high=high, columns=columns,
+                                          batch_rows=batch_rows,
+                                          where=where, aggregate=aggregate)
         if pin is not None:
             return self._query_pinned(table, pin, low=low, high=high,
                                       columns=columns,

@@ -1,6 +1,7 @@
 """Vectorized query engine: relations, expressions, and scan operators."""
 
-from . import functions
+from . import expr, functions
+from .expr import AggSpec, Expr
 from .relation import EngineError, GroupBy, Relation
 from .scan import (
     ScanTimer,
@@ -12,10 +13,13 @@ from .scan import (
 )
 
 __all__ = [
+    "AggSpec",
     "EngineError",
+    "Expr",
     "GroupBy",
     "Relation",
     "ScanTimer",
+    "expr",
     "fanout_scan_blocks",
     "functions",
     "rebase_block_streams",

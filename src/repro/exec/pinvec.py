@@ -46,7 +46,8 @@ def rebuild_layers(schema, serialized: list[list]) -> list[PDT]:
 
 
 def scan_payload(root, table: str, image_lsn: int, epoch: int, layers,
-                 columns, sid_lo, sid_hi, block_rows: int) -> dict:
+                 columns, sid_lo, sid_hi, block_rows: int,
+                 push: dict | None = None) -> dict:
     """The complete job payload for one remote shard scan.
 
     ``root`` is the shard scope's backend directory (the worker opens it
@@ -54,8 +55,15 @@ def scan_payload(root, table: str, image_lsn: int, epoch: int, layers,
     the ``(image_lsn, epoch)`` pair before trusting the layers to be
     relative to it — the LSN ties the image to the pinned commit point,
     the segment epoch disambiguates republishes at one LSN).
+
+    ``push`` is the optional pushed-down computation
+    (:meth:`repro.service.plan.ShardScanSpec.push_payload`): serialized
+    ``where`` predicate, ``agg`` partial-aggregate spec, and an
+    aggregate job's explicit ``key_filter`` bounds. A worker that does
+    not understand any part of it answers ``unsupported`` and the router
+    runs the identical pushed pipeline locally.
     """
-    return {
+    payload = {
         "root": str(root),
         "table": table,
         "image_lsn": int(image_lsn),
@@ -67,3 +75,6 @@ def scan_payload(root, table: str, image_lsn: int, epoch: int, layers,
         "block_rows": block_rows,
         "skip": 0,
     }
+    if push:
+        payload["push"] = push
+    return payload

@@ -19,6 +19,21 @@ scans are deterministic, so the replacement (or, after
 ``max_redispatch`` deaths, the thread fallback) continues the byte
 stream exactly where the dead worker left it. The database keeps
 serving; nothing above the router notices beyond latency.
+
+Thread-safety contract: the dispatch surface (``stream_blocks``,
+``run_source``, ``submit_stream``, ``spec_runner``) may be called from
+any thread concurrently — workers are handed out under the router's
+lock, and each in-flight job owns its worker exclusively until the
+final frame (so pipes and shm rings are never shared mid-job). The
+counter fields are best-effort under concurrency; read them through
+``as_dict()`` (the ``exec`` source of ``Database.metrics()``).
+
+Lifecycle contract: the router is created by (and belongs to) one
+``Database``; workers spawn lazily on first eligible dispatch and are
+joined/reaped by ``close()``, which ``Database.close()`` calls — after
+that, dispatches run on the calling thread. Workers hold **read-only**
+mmaps of published segments and no WAL or catalog locks, so a leaked or
+killed worker can never corrupt the database.
 """
 
 from __future__ import annotations
@@ -43,6 +58,11 @@ class WorkerCrashed(RuntimeError):
 
 class StaleImage(RuntimeError):
     """The worker's published catalog does not carry the pinned image."""
+
+
+class ExprRejected(RuntimeError):
+    """The worker rejected the job's pushed-down expression (vocabulary
+    skew); the router re-runs the identical pushed pipeline locally."""
 
 
 class _WorkerHandle:
@@ -119,6 +139,9 @@ class _WorkerHandle:
             elif op == "stale":
                 if msg[1] == job_id:
                     raise StaleImage(msg[2])
+            elif op == "unsupported":
+                if msg[1] == job_id:
+                    raise ExprRejected(msg[2])
             elif op == "error":
                 if msg[1] == job_id:
                     raise RuntimeError(f"shard worker failed: {msg[2]}")
@@ -151,10 +174,11 @@ class ScanSource:
     """
 
     __slots__ = ("local", "stable", "layers", "columns", "sid_lo",
-                 "sid_hi", "block_rows", "trace_ctx")
+                 "sid_hi", "block_rows", "trace_ctx", "push")
 
     def __init__(self, local, stable=None, layers=(), columns=(),
-                 sid_lo=0, sid_hi=None, block_rows=1024, trace_ctx=None):
+                 sid_lo=0, sid_hi=None, block_rows=1024, trace_ctx=None,
+                 push=None):
         self.local = local
         self.stable = stable
         self.layers = tuple(layers)
@@ -166,6 +190,9 @@ class ScanSource:
         # (contextvars do not cross the driver pool): lets worker spans
         # stitch under the query span even for inline fan-out scans.
         self.trace_ctx = trace_ctx
+        # Pushed-down computation payload; the local thunk must apply
+        # the same evaluation (see ShardScanSpec.pushed_stream).
+        self.push = push
 
     def __call__(self):
         return self.local()
@@ -211,6 +238,7 @@ class ExecutorRouter:
         self.local_jobs = 0
         self.redispatches = 0
         self.stale_fallbacks = 0
+        self.expr_fallbacks = 0  # worker rejected a pushed expression
         self.worker_io_merges = 0  # completed remote jobs whose IO merged
         # Set by the owning Database: worker-side IO deltas merge into
         # `io` (the db-level IOStats); `tracer` threads span context into
@@ -227,6 +255,7 @@ class ExecutorRouter:
             "local_jobs": self.local_jobs,
             "redispatches": self.redispatches,
             "stale_fallbacks": self.stale_fallbacks,
+            "expr_fallbacks": self.expr_fallbacks,
             "worker_io_merges": self.worker_io_merges,
             "live_workers": len(self.worker_pids()),
         }
@@ -282,7 +311,7 @@ class ExecutorRouter:
     # -- payloads ----------------------------------------------------------
 
     def payload_for(self, stable, layers, columns, sid_lo, sid_hi,
-                    block_rows, image_lsn=None) -> dict | None:
+                    block_rows, image_lsn=None, push=None) -> dict | None:
         """A pin-vector job payload, or None when the job must stay
         local: thread mode, detached stable (a checkpoint retired the
         on-disk image), non-mmap scope, unpublished/mismatched image
@@ -307,7 +336,7 @@ class ExecutorRouter:
             return None
         payload = scan_payload(
             backend.root, stable.name, image_lsn, epoch, layers, columns,
-            sid_lo, sid_hi, block_rows,
+            sid_lo, sid_hi, block_rows, push=push,
         )
         if self.block_delay_s:
             payload["block_delay_s"] = self.block_delay_s
@@ -315,13 +344,20 @@ class ExecutorRouter:
 
     # -- job execution -----------------------------------------------------
 
-    def stream_blocks(self, payload: dict, local, trace_ctx=None):
+    def stream_blocks(self, payload: dict, local, trace_ctx=None,
+                      counter=None):
         """Run one job remotely with crash re-dispatch; yield its blocks.
 
         ``local`` is the zero-argument thread fallback returning the same
-        deterministic block stream. ``delivered`` blocks already yielded
+        deterministic block stream — for pushed-down jobs it applies the
+        identical predicate/aggregate pipeline, so a worker that rejects
+        the expression (:class:`ExprRejected`, version skew) degrades to
+        a byte-identical local pass. ``delivered`` blocks already yielded
         to the consumer are skipped on every re-run, so the output is
         byte-identical whether zero, one, or every worker died.
+        ``counter`` receives the completed worker's push-down row
+        accounting (``rows_in`` / ``rows_out`` extras); the local
+        fallback is expected to fill the same counter itself.
 
         Telemetry: the worker ships per-job IO counters and its scan span
         with the final ``done`` frame; both are ingested here *exactly
@@ -352,12 +388,18 @@ class ExecutorRouter:
                     delivered += 1
                 self.remote_jobs += 1
                 self._ingest_extras(extras)
+                if counter is not None and "pushdown" in extras:
+                    for key, value in extras["pushdown"].items():
+                        counter[key] = counter.get(key, 0) + value
                 if cur is not None:
                     cur.attrs["remote_blocks"] = (
                         cur.attrs.get("remote_blocks", 0) + delivered)
                 return
             except StaleImage:
                 self.stale_fallbacks += 1
+                use_local = True
+            except ExprRejected:
+                self.expr_fallbacks += 1
                 use_local = True
             except WorkerCrashed:
                 deaths += 1
@@ -404,6 +446,7 @@ class ExecutorRouter:
         payload = self.payload_for(
             source.stable, source.layers, source.columns,
             source.sid_lo, source.sid_hi, source.block_rows,
+            push=source.push,
         )
         if payload is None:
             self.local_jobs += 1
@@ -430,22 +473,29 @@ class ExecutorRouter:
         """The per-shard job runner the query service installs, or None
         in thread mode (the scheduler then keeps its zero-cost default).
         The runner signature matches ``ShardScanJob``'s contract:
-        ``runner(spec, sid_lo, sid_hi, block_rows) -> block iterable``."""
+        ``runner(spec, sid_lo, sid_hi, block_rows, counter=None) ->
+        block iterable``. Pushed-down specs ship their predicate and
+        partial-aggregate payload to the worker, which streams back the
+        *reduced* blocks over the ring; ``counter`` collects the
+        worker's rows_in/rows_out accounting (or the local pipeline's,
+        on fallback) exactly once per completed pass."""
         if self.mode != "process":
             return None
 
-        def run(spec, sid_lo, sid_hi, block_rows):
+        def run(spec, sid_lo, sid_hi, block_rows, counter=None):
             pinned = spec.pinned
+            local = lambda: spec.pushed_stream(  # noqa: E731
+                sid_lo, sid_hi, block_rows, counter=counter)
             payload = self.payload_for(
                 pinned.stable, pinned.layers, spec.scan_cols,
                 sid_lo, sid_hi, block_rows,
                 image_lsn=getattr(pinned, "image_lsn", None),
+                push=spec.push_payload(),
             )
             if payload is None:
                 self.local_jobs += 1
-                return spec.stream(sid_lo, sid_hi, block_rows)
-            return self.stream_blocks(
-                payload, lambda: spec.stream(sid_lo, sid_hi, block_rows))
+                return local()
+            return self.stream_blocks(payload, local, counter=counter)
 
         return run
 

@@ -37,6 +37,12 @@ class _Stale(Exception):
     """Published catalog does not carry the requested image version."""
 
 
+class _Unsupported(Exception):
+    """The job's pushed-down computation is outside this worker's
+    vocabulary (version skew): the parent must run it locally. Distinct
+    from ``_Stale`` so the router's stale-image counter stays honest."""
+
+
 class _ScopeCache:
     """Per-worker cache of read-only storage scopes and stable images."""
 
@@ -94,10 +100,40 @@ class _ScopeCache:
         self._tables.clear()
 
 
+def _decode_push(push: dict):
+    """Rebuild the pushed-down computation from its payload, rejecting
+    anything outside the supported vocabulary *before* the scan starts
+    (so an unsupported job never half-streams)."""
+    from ..engine import expr as ex
+
+    known = {"where", "agg", "key_filter"}
+    unknown = set(push) - known
+    if unknown:
+        raise _Unsupported(f"unknown push-down fields {sorted(unknown)}")
+    try:
+        where = (ex.expr_from_payload(push["where"])
+                 if "where" in push else None)
+        agg = (ex.agg_from_payload(push["agg"])
+               if "agg" in push else None)
+    except ex.PushdownUnsupported as exc:
+        raise _Unsupported(str(exc)) from None
+    key_cols, low, high = (), None, None
+    key_filter = push.get("key_filter")
+    if key_filter:
+        key_cols = tuple(key_filter["cols"])
+        low = (None if key_filter.get("low") is None
+               else tuple(key_filter["low"]))
+        high = (None if key_filter.get("high") is None
+                else tuple(key_filter["high"]))
+    return where, agg, key_cols, low, high
+
+
 def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
              payload: dict) -> None:
     from ..engine.scan import scan_pdt_blocks
 
+    push = payload.get("push")
+    pushed = _decode_push(push) if push else None
     stable, pool = cache.stable_for(payload)
     # Telemetry for the final frame: the parent merges the IO delta into
     # its db-level stats (exactly once, only for *completed* jobs — a
@@ -115,6 +151,18 @@ def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
         stop=None if stop is None else stop,
         block_rows=payload["block_rows"],
     )
+    pushdown_counter = None
+    if pushed is not None:
+        # Same wrapper, same module, as the parent's local pipeline —
+        # the reduced stream is byte-identical on either side, which
+        # keeps skip-based crash re-dispatch exact for pushed jobs too.
+        from ..engine.expr import pushdown_stream
+
+        where, agg, key_cols, low, high = pushed
+        pushdown_counter = {"rows_in": 0, "rows_out": 0}
+        stream = pushdown_stream(stream, where=where, agg=agg,
+                                 key_cols=key_cols, low=low, high=high,
+                                 counter=pushdown_counter)
     skip = payload.get("skip", 0)
     delay = payload.get("block_delay_s") or 0.0
     produced = 0
@@ -137,6 +185,8 @@ def _run_job(cache: _ScopeCache, ring, conn, job_id: int,
             conn.send(("block", job_id, first_rid, frame))
     io_delta = pool.io.since(io_before)
     extras: dict = {"io": io_delta}
+    if pushdown_counter is not None:
+        extras["pushdown"] = pushdown_counter
     if trace_ctx is not None:
         from ..obs.trace import worker_span_dict
 
@@ -181,6 +231,8 @@ def worker_main(conn, ring_name: str | None, ring_capacity: int) -> None:
                 _run_job(cache, ring, conn, job_id, payload)
             except _Stale as exc:
                 conn.send(("stale", job_id, str(exc)))
+            except _Unsupported as exc:
+                conn.send(("unsupported", job_id, str(exc)))
             except BaseException as exc:
                 try:
                     conn.send(("error", job_id, repr(exc)))

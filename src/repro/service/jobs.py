@@ -135,12 +135,13 @@ class DeferredFeed(ShardFeed):
 class ShardScanJob:
     """One scheduled scan of one shard's pinned version, multi-consumer.
 
-    ``runner(spec, sid_lo, sid_hi, block_rows) -> block iterable``
-    overrides how the union range is physically scanned (process-mode
-    dispatch); the default is the spec's in-thread pipeline. Either way
-    the stream over a pinned version is deterministic, which is what
-    makes mid-scan catch-up (and crash re-dispatch inside the router's
-    runner) exact.
+    ``runner(spec, sid_lo, sid_hi, block_rows, counter=None) -> block
+    iterable`` overrides how the union range is physically scanned
+    (process-mode dispatch); the default is the spec's in-thread
+    *pushed* pipeline, which applies the spec's predicate/aggregate
+    below the feeds. Either way the stream over a pinned version is
+    deterministic — pushed or not — which is what makes mid-scan
+    catch-up (and crash re-dispatch inside the router's runner) exact.
     """
 
     def __init__(self, spec, block_rows: int, runner=None):
@@ -149,6 +150,11 @@ class ShardScanJob:
         self.sid_lo = spec.sid_lo
         self.sid_hi = spec.sid_hi
         self._runner = runner
+        # Push-down accounting, filled by the pushed stream (locally or
+        # from the worker's completion extras): rows the physical scan
+        # read vs. rows that survived into the feeds.
+        self.pushdown = bool(getattr(spec, "pushdown", False))
+        self.pushdown_counter = {"rows_in": 0, "rows_out": 0}
         self._feeds: list[ShardFeed] = [ShardFeed()]
         self._lock = threading.Lock()
         self._started = False
@@ -168,10 +174,18 @@ class ShardScanJob:
     def consumers(self) -> int:
         return len(self._feeds)
 
-    def _stream(self, sid_lo: int, sid_hi: int):
+    def _stream(self, sid_lo: int, sid_hi: int, counter: dict | None = None):
+        """The job's (pushed-down) block stream. ``counter`` collects
+        push-down row accounting for the *primary* pass only — catch-up
+        re-scans pass None so re-read rows are not double-counted."""
         if self._runner is not None:
+            if counter is not None:
+                return self._runner(self.spec, sid_lo, sid_hi,
+                                    self.block_rows, counter=counter)
+            # Plain calls keep the legacy 4-argument runner contract.
             return self._runner(self.spec, sid_lo, sid_hi, self.block_rows)
-        return self.spec.stream(sid_lo, sid_hi, self.block_rows)
+        return self.spec.pushed_stream(sid_lo, sid_hi, self.block_rows,
+                                       counter=counter)
 
     def try_attach(self, spec):
         """Join this job; returns ``(feed, catch_up)``.
@@ -244,7 +258,9 @@ class ShardScanJob:
         with self._lock:
             self._started = True
         try:
-            for block in self._stream(self.sid_lo, self.sid_hi):
+            for block in self._stream(self.sid_lo, self.sid_hi,
+                                      counter=self.pushdown_counter
+                                      if self.pushdown else None):
                 with self._lock:
                     feeds = list(self._feeds)
                     self._emitted += 1
@@ -424,6 +440,10 @@ class ServiceStats:
     jobs_attached: int = 0  # shared via a *mid-scan* (catch-up) attach
     blocks_streamed: int = 0
     rows_streamed: int = 0
+    # Push-down (jobs carrying a pushed predicate/aggregate):
+    pushdown_jobs: int = 0
+    rows_scanned: int = 0      # rows those jobs' physical scans read
+    rows_pushed_down: int = 0  # rows evaluated in-job, never streamed
     maintenance_runs: int = 0
     # Group-commit coalescing (durable backends; zero on memory storage):
     group_commits: int = 0            # writes acknowledged via a group fsync

@@ -17,6 +17,15 @@ served by one physical scan — the cooperative-scan sharing the service's
 job scheduler exploits. Pins taken under the same commit LSN share their
 Write-PDT copies through the manager's snapshot cache, so even separately
 pinned requests coalesce while no commit intervenes.
+
+Push-down: a plan may carry a predicate (:class:`~repro.engine.expr.Expr`)
+and/or a partial-aggregate spec (:class:`~repro.engine.expr.AggSpec`).
+Both ride on every shard spec and are evaluated *inside* the scan job
+(:meth:`ShardScanSpec.pushed_stream`), so only qualifying rows — or one
+partial-aggregate block per shard — ever reach a feed. The predicate also
+contributes conservative sort-key bounds to router and sparse-index
+pruning. The share key then includes the predicate/aggregate identity:
+requests only share a physical pass when they compute the same thing.
 """
 
 from __future__ import annotations
@@ -24,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..core.merge import MERGE_BLOCK_ROWS
+from ..engine import expr as ex
 from ..engine import functions as fn
 from ..engine.scan import rebase_block_streams, scan_pdt_blocks
 from ..shard.router import ShardRouter
@@ -31,30 +41,56 @@ from ..shard.router import ShardRouter
 
 @dataclass(frozen=True)
 class ShardScanSpec:
-    """One shard's share of a pinned scan: the version + the SID range."""
+    """One shard's share of a pinned scan: the version + the SID range.
+
+    ``where`` / ``agg`` are the pushed-down predicate and aggregate (both
+    optional); ``low`` / ``high`` / ``key_cols`` carry the request's
+    explicit sort-key bounds for aggregate jobs, which must apply the
+    full predicate themselves (aggregation consumes rows before the
+    cursor's key trim could see them).
+    """
 
     pinned: object  # PinnedTable
     scan_cols: tuple
     sid_lo: int
     sid_hi: int  # >= stable rows means "to the end", incl. trailing inserts
+    where: object = None  # Expr | None
+    agg: object = None  # AggSpec | None
+    low: tuple | None = None
+    high: tuple | None = None
+    key_cols: tuple = ()
 
     @property
     def share_key(self) -> tuple:
-        """Identity of the scanned version and projection. Two specs with
-        equal keys read identical bytes, whatever their SID ranges — a
-        shared job scans the union range and each consumer's key filter
-        discards the excess."""
-        return (
+        """Identity of the scanned version, projection, and pushed-down
+        computation. Two specs with equal keys produce identical block
+        streams. For filter-only specs the key stays SID-range-free (a
+        shared job scans the union range; each consumer's key filter
+        discards the excess); aggregate specs fold their SID/key ranges
+        in, because an aggregated stream cannot be trimmed after the
+        fact — only identical-range aggregate requests may share."""
+        key = (
             self.pinned.name,
             id(self.pinned.stable),
             tuple(id(layer) for layer in self.pinned.layers),
             self.scan_cols,
         )
+        if self.where is not None or self.agg is not None:
+            key += (None if self.where is None else self.where.key(),)
+        if self.agg is not None:
+            key += (self.agg.key(), self.low, self.high,
+                    self.sid_lo, self.sid_hi)
+        return key
+
+    @property
+    def pushdown(self) -> bool:
+        return self.where is not None or self.agg is not None
 
     def stream(self, sid_lo: int | None = None, sid_hi: int | None = None,
                block_rows: int = MERGE_BLOCK_ROWS):
-        """Block pipeline over ``[sid_lo, sid_hi)`` of the pinned version
-        (defaults to the spec's own range; shared jobs pass the union)."""
+        """Raw block pipeline over ``[sid_lo, sid_hi)`` of the pinned
+        version (defaults to the spec's own range; shared jobs pass the
+        union) — no pushed-down evaluation applied."""
         return scan_pdt_blocks(
             self.pinned.stable,
             list(self.pinned.layers),
@@ -63,6 +99,41 @@ class ShardScanSpec:
             stop=self.sid_hi if sid_hi is None else sid_hi,
             block_rows=block_rows,
         )
+
+    def pushed_stream(self, sid_lo: int | None = None,
+                      sid_hi: int | None = None,
+                      block_rows: int = MERGE_BLOCK_ROWS,
+                      counter: dict | None = None):
+        """The job-facing stream: :meth:`stream` wrapped with the spec's
+        pushed-down predicate/aggregate (a no-op passthrough without
+        them). This is the single local definition process workers must
+        match byte for byte."""
+        stream = self.stream(sid_lo, sid_hi, block_rows)
+        if not self.pushdown:
+            return stream
+        return ex.pushdown_stream(
+            stream, where=self.where, agg=self.agg,
+            key_cols=self.key_cols, low=self.low, high=self.high,
+            counter=counter,
+        )
+
+    def push_payload(self) -> dict | None:
+        """The worker-protocol form of the pushed-down computation, or
+        None when the spec pushes nothing."""
+        if not self.pushdown:
+            return None
+        push: dict = {}
+        if self.where is not None:
+            push["where"] = self.where.to_payload()
+        if self.agg is not None:
+            push["agg"] = self.agg.to_payload()
+            if self.low is not None or self.high is not None:
+                push["key_filter"] = {
+                    "cols": list(self.key_cols),
+                    "low": None if self.low is None else list(self.low),
+                    "high": None if self.high is None else list(self.high),
+                }
+        return push
 
 
 @dataclass(frozen=True)
@@ -76,10 +147,17 @@ class ScanPlan:
     parts: tuple
     low: tuple | None = None
     high: tuple | None = None
+    where: object = None  # Expr | None — evaluated inside the shard jobs
+    agg: object = None  # AggSpec | None — partials merged at the cursor
 
     @property
     def filtered(self) -> bool:
-        return self.low is not None or self.high is not None
+        """Whether result blocks need cursor-side trim/projection. The
+        pushed predicate itself is already applied in-job; it still flags
+        the plan filtered because the scan set carries predicate/sort-key
+        columns the caller did not ask for."""
+        return (self.low is not None or self.high is not None
+                or self.where is not None)
 
     def filter_block(self, arrays: dict) -> dict | None:
         """Apply the inclusive (prefix-aware) ``[low, high]`` sort-key
@@ -101,46 +179,88 @@ class ScanPlan:
 
 
 def plan_scan(pin, table: str, low=None, high=None,
-              columns=None) -> ScanPlan:
+              columns=None, where=None, agg=None) -> ScanPlan:
     """Plan a scan of ``table`` at the pin's commit point.
 
     ``low``/``high`` are inclusive sort-key (or SK-prefix) bounds, as in
     ``Database.query_range``; with neither, the plan is a full scan whose
-    blocks stream in global RID order.
+    blocks stream in global RID order. ``where`` (an
+    :class:`~repro.engine.expr.Expr`) and ``agg`` (an
+    :class:`~repro.engine.expr.AggSpec`) push evaluation into the shard
+    jobs: the predicate's sort-key bounds join the explicit ones for
+    router/sparse-index pruning (a conservative superset — the full
+    predicate is re-applied in-job), and an aggregate plan's ``columns``
+    become the aggregate's output columns.
     """
     low = tuple(low) if low is not None else None
     high = tuple(high) if high is not None else None
-    if pin.is_sharded(table):
+    sharded = pin.is_sharded(table)
+    if sharded:
         layout = pin.layout(table)
         names = list(layout.shard_names)
         schema = pin.table(names[0]).stable.schema
-        if low is not None or high is not None:
-            router = ShardRouter(layout.boundaries)
-            # Inverted bounds prune every shard: an empty plan, matching
-            # the empty relation the live range path returns.
-            names = [names[i] for i in router.shards_for_range(low, high)]
     else:
         names = [pin.table(table).name]
         schema = pin.table(names[0]).stable.schema
-    columns = list(schema.column_names) if columns is None else list(columns)
-    filtered = low is not None or high is not None
-    scan_cols = (
-        list(dict.fromkeys(columns + list(schema.sort_key)))
-        if filtered else columns
-    )
+    # Pruning bounds: the explicit range, tightened by whatever the
+    # pushed predicate implies for the leading sort-key column. These
+    # are *pruning-only* — the cursor's trim still uses the explicit
+    # [low, high], and the predicate is evaluated exactly, in-job.
+    prune_lo, prune_hi = low, high
+    if where is not None:
+        for col in where.columns():
+            schema.dtype_of(col)  # fail the batch on unknown columns
+        wlow, whigh = where.sk_bounds(schema.sort_key)
+        if wlow is not None:
+            prune_lo = wlow if prune_lo is None else max(prune_lo, wlow)
+        if whigh is not None:
+            prune_hi = whigh if prune_hi is None else min(prune_hi, whigh)
+    pruned = prune_lo is not None or prune_hi is not None
+    if sharded and pruned:
+        router = ShardRouter(layout.boundaries)
+        # Inverted bounds prune every shard: an empty plan, matching
+        # the empty relation the live range path returns.
+        names = [names[i]
+                 for i in router.shards_for_range(prune_lo, prune_hi)]
+    where_cols = sorted(where.columns()) if where is not None else []
+    if agg is not None:
+        agg = agg.bind(schema)  # validates columns, pins dtypes
+        columns = list(agg.output_columns())
+        scan_cols = list(dict.fromkeys(
+            agg.inputs() + where_cols
+            + (list(schema.sort_key)
+               if low is not None or high is not None else [])
+        ))
+    else:
+        columns = (list(schema.column_names) if columns is None
+                   else list(columns))
+        filtered = (low is not None or high is not None
+                    or where is not None)
+        scan_cols = (
+            list(dict.fromkeys(columns + where_cols
+                               + list(schema.sort_key)))
+            if filtered else columns
+        )
+    key_cols = tuple(schema.sort_key) if agg is not None else ()
     parts = []
     for name in names:
         pt = pin.table(name)
-        if filtered:
-            sid_range = pt.sparse_index.sid_range_for_key_range(low, high)
+        if pruned:
+            sid_range = pt.sparse_index.sid_range_for_key_range(
+                prune_lo, prune_hi)
             lo, hi = sid_range.start, sid_range.stop
         else:
             lo, hi = 0, pt.stable.num_rows
-        parts.append(ShardScanSpec(pt, tuple(scan_cols), lo, hi))
+        parts.append(ShardScanSpec(
+            pt, tuple(scan_cols), lo, hi, where=where, agg=agg,
+            low=low if agg is not None else None,
+            high=high if agg is not None else None,
+            key_cols=key_cols,
+        ))
     return ScanPlan(
         table=table, columns=tuple(columns), scan_cols=tuple(scan_cols),
         sort_key=tuple(schema.sort_key), parts=tuple(parts),
-        low=low, high=high,
+        low=low, high=high, where=where, agg=agg,
     )
 
 
@@ -148,11 +268,20 @@ def filter_blocks(plan: ScanPlan, stream):
     """Apply a plan's filter/projection to a rebased block stream.
 
     Unfiltered plans pass through in the exact global RID domain;
-    filtered plans re-number RIDs densely over the qualifying rows. The
-    single definition both the inline pinned queries and the service's
+    filtered plans re-number RIDs densely over the qualifying rows (the
+    pushed predicate was already applied in-job, so only the key trim
+    and projection run here). Aggregate plans merge the per-shard
+    partial blocks and finalize into one result block. The single
+    definition both the inline pinned queries and the service's
     streaming cursors run their blocks through — the byte-identity
     oracle and the streamed path cannot diverge.
     """
+    if plan.agg is not None:
+        merger = plan.agg.aggregator()
+        for _rid, arrays in stream:
+            merger.merge(arrays)
+        yield 0, merger.finalize()
+        return
     if not plan.filtered:
         yield from stream
         return
@@ -190,7 +319,8 @@ def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
             else None
         sources = [
             ScanSource(
-                (lambda spec=spec: spec.stream(block_rows=block_rows)),
+                (lambda spec=spec: spec.pushed_stream(
+                    block_rows=block_rows)),
                 stable=spec.pinned.stable,
                 layers=spec.pinned.layers,
                 columns=spec.scan_cols,
@@ -198,6 +328,7 @@ def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
                 sid_hi=spec.sid_hi,
                 block_rows=block_rows,
                 trace_ctx=trace_ctx,
+                push=spec.push_payload(),
             )
             for spec in plan.parts
         ]
@@ -205,6 +336,6 @@ def iter_plan_blocks(plan: ScanPlan, block_rows: int = MERGE_BLOCK_ROWS,
             plan, fanout_scan_blocks(sources, executor=router))
     return filter_blocks(
         plan,
-        rebase_block_streams(spec.stream(block_rows=block_rows)
+        rebase_block_streams(spec.pushed_stream(block_rows=block_rows)
                              for spec in plan.parts),
     )

@@ -29,6 +29,21 @@ gets the benefit for free through the existing futures. When the last
 in-flight request drains, the service runs the maintenance the checkpoint
 scheduler and rebalancer deferred while pins were live — the same
 between-queries draining ``Database.query`` does for synchronous use.
+
+Thread-safety contract: every public method is safe from any thread (and
+the coroutine facade from any event loop); internally, reads are
+lock-free against writes — a commit never blocks a streaming cursor and
+vice versa. ``stats`` is updated under its own lock; read it via
+``stats.as_dict()`` (or ``Database.metrics()``) for a coherent snapshot.
+
+Lifecycle contract: obtain a service from ``Database.serve(workers=N)``
+and close it — it is a context manager — before closing the database
+(``Database.close()`` also closes any still-attached services).
+``close()`` drains in-flight requests, joins the worker pool, and runs
+deferred maintenance; afterwards submissions raise :class:`ServiceClosed`
+while already-returned cursors may still be drained. Cursors and pins
+obtained from the service hold refcounted leases, so dropping them (even
+abandoning them to the GC) releases resources deterministically.
 """
 
 from __future__ import annotations
@@ -157,28 +172,35 @@ class QueryService:
 
     # -- read submissions --------------------------------------------------
 
-    def submit_query(self, table: str, columns=None, pin=None
-                     ) -> StreamingCursor:
-        """Full-table scan at one commit point; returns its cursor."""
+    def submit_query(self, table: str, columns=None, pin=None,
+                     where=None, agg=None) -> StreamingCursor:
+        """Full-table scan at one commit point; returns its cursor.
+        ``where`` / ``agg`` push a predicate
+        (:class:`~repro.engine.expr.Expr`) and/or a partial aggregate
+        (:class:`~repro.engine.expr.AggSpec`) into the shard jobs."""
         return self.submit_many(
-            [{"table": table, "columns": columns}], pin=pin)[0]
+            [{"table": table, "columns": columns, "where": where,
+              "agg": agg}], pin=pin)[0]
 
     def submit_range(self, table: str, low=None, high=None, columns=None,
-                     pin=None) -> StreamingCursor:
+                     pin=None, where=None, agg=None) -> StreamingCursor:
         """Sort-key range scan ``[low, high]`` (prefix-aware, like
-        ``Database.query_range``) at one commit point."""
+        ``Database.query_range``) at one commit point, with optional
+        pushed-down ``where`` predicate and ``agg`` partial aggregate."""
         return self.submit_many(
             [{"table": table, "low": low, "high": high,
-              "columns": columns}], pin=pin)[0]
+              "columns": columns, "where": where, "agg": agg}], pin=pin)[0]
 
     def submit_many(self, requests, pin=None) -> list[StreamingCursor]:
         """Admit a batch of read requests against one shared pin.
 
         ``requests`` is a list of dicts with keys ``table`` and optional
-        ``low`` / ``high`` / ``columns``. The batch is planned before any
-        scan starts, so requests touching the same shards at the same
-        version are guaranteed to share scan jobs — the submission shape
-        for concurrent analytics over one consistent snapshot.
+        ``low`` / ``high`` / ``columns`` / ``where`` / ``agg``. The batch
+        is planned before any scan starts, so requests touching the same
+        shards at the same version — computing the same pushed-down
+        predicate/aggregate, if any — are guaranteed to share scan jobs:
+        the submission shape for concurrent analytics over one
+        consistent snapshot.
         """
         self._check_open()
         requests = list(requests)
@@ -199,6 +221,7 @@ class QueryService:
                     pin, request["table"],
                     low=request.get("low"), high=request.get("high"),
                     columns=request.get("columns"),
+                    where=request.get("where"), agg=request.get("agg"),
                 )
                 for request in requests
             ]
@@ -368,18 +391,20 @@ class QueryService:
 
     # -- asyncio façade ----------------------------------------------------
 
-    async def query(self, table: str, columns=None, pin=None
-                    ) -> StreamingCursor:
+    async def query(self, table: str, columns=None, pin=None,
+                    where=None, agg=None) -> StreamingCursor:
         """Async submission; iterate the returned cursor with
         ``async for``."""
         return await asyncio.to_thread(
-            self.submit_query, table, columns=columns, pin=pin)
+            self.submit_query, table, columns=columns, pin=pin,
+            where=where, agg=agg)
 
     async def query_range(self, table: str, low=None, high=None,
-                          columns=None, pin=None) -> StreamingCursor:
+                          columns=None, pin=None, where=None, agg=None
+                          ) -> StreamingCursor:
         return await asyncio.to_thread(
             self.submit_range, table, low=low, high=high,
-            columns=columns, pin=pin)
+            columns=columns, pin=pin, where=where, agg=agg)
 
     async def apply_batch(self, table: str, ops) -> int:
         return await asyncio.wrap_future(self.submit_batch(table, ops))
@@ -409,6 +434,7 @@ class QueryService:
         trace = job.trace
         if trace is None:
             self._scheduler.run_job(job)
+            self._note_pushdown(job)
             return
         tracer, ctx = trace
         with tracer.start("shard.scan", parent=ctx,
@@ -416,6 +442,25 @@ class QueryService:
             self._scheduler.run_job(job)
             span.attrs["blocks"] = job._emitted
             span.attrs["consumers"] = job.consumers
+            if job.pushdown:
+                span.attrs["rows_scanned"] = \
+                    job.pushdown_counter["rows_in"]
+                span.attrs["rows_out"] = job.pushdown_counter["rows_out"]
+        self._note_pushdown(job)
+
+    def _note_pushdown(self, job) -> None:
+        """Fold one finished pushed-down job's row accounting into the
+        service counters (once per physical pass — shared consumers ride
+        the same job)."""
+        if not job.pushdown:
+            return
+        counter = job.pushdown_counter
+        self.stats.bump(
+            pushdown_jobs=1,
+            rows_scanned=counter["rows_in"],
+            rows_pushed_down=max(0, counter["rows_in"]
+                                 - counter["rows_out"]),
+        )
 
     def _guard_catch_up(self, catch_up, lease: _PinLease, ctx=None):
         """Wrap a mid-scan catch-up sub-scan: it primes its deferred feed

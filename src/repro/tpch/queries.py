@@ -1,11 +1,20 @@
 """All 22 TPC-H queries as physical plans over the relation engine.
 
 Each query takes a *source* (see :mod:`repro.tpch.sources`) exposing
-``scan(table, columns)`` and returns a :class:`~repro.engine.Relation`.
-Queries request exactly the columns they use — the property that lets
-positional merging skip sort-key I/O. Parameters default to the TPC-H
-validation values; dates are day numbers (see
-:mod:`repro.engine.functions`).
+``scan(table, columns, where=None)`` and returns a
+:class:`~repro.engine.Relation`. Queries request exactly the columns
+they use — the property that lets positional merging skip sort-key I/O.
+Parameters default to the TPC-H validation values; dates are day numbers
+(see :mod:`repro.engine.functions`).
+
+Scans that feed a filter also pass the decomposable part of that filter
+as a ``where=`` hint (an :class:`~repro.engine.expr.Expr`). A source may
+push it into the scan (:class:`~repro.tpch.sources.PdtSource` routes it
+through shard pruning + in-scan filtering) or ignore it entirely — every
+query still applies its full predicate centrally, so the hint can only
+reduce rows scanned, never change the answer. Column-vs-column terms
+(e.g. ``l_commitdate < l_receiptdate``) are outside the push-down
+vocabulary and stay central-only.
 
 These are physical plans, not SQL: joins are ordered by hand the way a
 reasonable optimizer would on TPC-H (selective filters first, dimension
@@ -16,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..engine import expr as ex
 from ..engine import functions as fn
 from ..engine.relation import Relation
 
@@ -29,6 +39,7 @@ def q01(src, delta_days: int = 90) -> Relation:
         "lineitem",
         ["l_returnflag", "l_linestatus", "l_quantity", "l_extendedprice",
          "l_discount", "l_tax", "l_shipdate"],
+        where=ex.le("l_shipdate", cutoff),
     )
     li = li.filter(li["l_shipdate"] <= cutoff)
     disc = li["l_extendedprice"] * (1 - li["l_discount"])
@@ -90,11 +101,13 @@ def q02(src, size: int = 15, type_suffix: str = "BRASS",
 def q03(src, segment: str = "BUILDING", date: int | None = None) -> Relation:
     """Shipping priority."""
     date = D(1995, 3, 15) if date is None else date
-    cust = src.scan("customer", ["c_custkey", "c_mktsegment"])
+    cust = src.scan("customer", ["c_custkey", "c_mktsegment"],
+                    where=ex.eq("c_mktsegment", segment))
     cust = cust.filter(cust["c_mktsegment"] == segment)
     orders = src.scan(
         "orders",
         ["o_orderkey", "o_custkey", "o_orderdate", "o_shippriority"],
+        where=ex.lt("o_orderdate", date),
     )
     orders = orders.filter(orders["o_orderdate"] < date)
     orders = orders.join(cust, left_on="o_custkey", right_on="c_custkey",
@@ -102,6 +115,7 @@ def q03(src, segment: str = "BUILDING", date: int | None = None) -> Relation:
     li = src.scan(
         "lineitem",
         ["l_orderkey", "l_extendedprice", "l_discount", "l_shipdate"],
+        where=ex.gt("l_shipdate", date),
     )
     li = li.filter(li["l_shipdate"] > date)
     joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
@@ -120,7 +134,9 @@ def q04(src, date: int | None = None) -> Relation:
     """Order priority checking."""
     date = D(1993, 7, 1) if date is None else date
     orders = src.scan(
-        "orders", ["o_orderkey", "o_orderdate", "o_orderpriority"]
+        "orders", ["o_orderkey", "o_orderdate", "o_orderpriority"],
+        where=ex.and_(ex.ge("o_orderdate", date),
+                      ex.lt("o_orderdate", fn.add_months(date, 3))),
     )
     orders = orders.filter(
         (orders["o_orderdate"] >= date)
@@ -147,7 +163,11 @@ def q05(src, region: str = "ASIA", date: int | None = None) -> Relation:
     supp = src.scan("supplier", ["s_suppkey", "s_nationkey"])
     supp = supp.join(nation, left_on="s_nationkey", right_on="n_nationkey")
     cust = src.scan("customer", ["c_custkey", "c_nationkey"])
-    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = src.scan(
+        "orders", ["o_orderkey", "o_custkey", "o_orderdate"],
+        where=ex.and_(ex.ge("o_orderdate", date),
+                      ex.lt("o_orderdate", fn.add_years(date, 1))),
+    )
     orders = orders.filter(
         (orders["o_orderdate"] >= date)
         & (orders["o_orderdate"] < fn.add_years(date, 1))
@@ -175,6 +195,13 @@ def q06(src, date: int | None = None, discount: float = 0.06,
     li = src.scan(
         "lineitem",
         ["l_shipdate", "l_discount", "l_quantity", "l_extendedprice"],
+        where=ex.and_(
+            ex.ge("l_shipdate", date),
+            ex.lt("l_shipdate", fn.add_years(date, 1)),
+            ex.between("l_discount", round(discount - 0.011, 2),
+                       round(discount + 0.011, 2)),
+            ex.lt("l_quantity", quantity),
+        ),
     )
     mask = (
         (li["l_shipdate"] >= date)
@@ -324,7 +351,11 @@ def q09(src, color: str = "green") -> Relation:
 def q10(src, date: int | None = None) -> Relation:
     """Returned item reporting."""
     date = D(1993, 10, 1) if date is None else date
-    orders = src.scan("orders", ["o_orderkey", "o_custkey", "o_orderdate"])
+    orders = src.scan(
+        "orders", ["o_orderkey", "o_custkey", "o_orderdate"],
+        where=ex.and_(ex.ge("o_orderdate", date),
+                      ex.lt("o_orderdate", fn.add_months(date, 3))),
+    )
     orders = orders.filter(
         (orders["o_orderdate"] >= date)
         & (orders["o_orderdate"] < fn.add_months(date, 3))
@@ -332,6 +363,7 @@ def q10(src, date: int | None = None) -> Relation:
     li = src.scan(
         "lineitem",
         ["l_orderkey", "l_returnflag", "l_extendedprice", "l_discount"],
+        where=ex.eq("l_returnflag", "R"),
     )
     li = li.filter(li["l_returnflag"] == "R")
     joined = li.join(orders, left_on="l_orderkey", right_on="o_orderkey")
@@ -382,6 +414,10 @@ def q12(src, mode1: str = "MAIL", mode2: str = "SHIP",
         "lineitem",
         ["l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate",
          "l_shipdate"],
+        # Conservative subset: the column-vs-column terms stay central.
+        where=ex.and_(ex.isin("l_shipmode", (mode1, mode2)),
+                      ex.ge("l_receiptdate", date),
+                      ex.lt("l_receiptdate", fn.add_years(date, 1))),
     )
     li = li.filter(
         fn.isin(li["l_shipmode"], {mode1, mode2})
@@ -428,6 +464,8 @@ def q14(src, date: int | None = None) -> Relation:
     li = src.scan(
         "lineitem",
         ["l_partkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        where=ex.and_(ex.ge("l_shipdate", date),
+                      ex.lt("l_shipdate", fn.add_months(date, 1))),
     )
     li = li.filter(
         (li["l_shipdate"] >= date)
@@ -455,6 +493,8 @@ def q15(src, date: int | None = None) -> Relation:
     li = src.scan(
         "lineitem",
         ["l_suppkey", "l_shipdate", "l_extendedprice", "l_discount"],
+        where=ex.and_(ex.ge("l_shipdate", date),
+                      ex.lt("l_shipdate", fn.add_months(date, 3))),
     )
     li = li.filter(
         (li["l_shipdate"] >= date)
@@ -553,6 +593,8 @@ def q19(src, brand1: str = "Brand#12", brand2: str = "Brand#23",
         "lineitem",
         ["l_partkey", "l_quantity", "l_extendedprice", "l_discount",
          "l_shipmode", "l_shipinstruct"],
+        where=ex.and_(ex.isin("l_shipmode", ("AIR", "REG AIR")),
+                      ex.eq("l_shipinstruct", "DELIVER IN PERSON")),
     )
     li = li.filter(
         fn.isin(li["l_shipmode"], {"AIR", "REG AIR"})
@@ -595,10 +637,13 @@ def q20(src, color: str = "forest", date: int | None = None,
         nation: str = "CANADA") -> Relation:
     """Potential part promotion."""
     date = D(1994, 1, 1) if date is None else date
-    part = src.scan("part", ["p_partkey", "p_name"])
+    part = src.scan("part", ["p_partkey", "p_name"],
+                    where=ex.starts_with("p_name", color))
     part = part.filter(fn.starts_with(part["p_name"], color))
     li = src.scan(
-        "lineitem", ["l_partkey", "l_suppkey", "l_shipdate", "l_quantity"]
+        "lineitem", ["l_partkey", "l_suppkey", "l_shipdate", "l_quantity"],
+        where=ex.and_(ex.ge("l_shipdate", date),
+                      ex.lt("l_shipdate", fn.add_years(date, 1))),
     )
     li = li.filter(
         (li["l_shipdate"] >= date)
@@ -632,7 +677,8 @@ def q21(src, nation: str = "SAUDI ARABIA") -> Relation:
         "lineitem",
         ["l_orderkey", "l_suppkey", "l_receiptdate", "l_commitdate"],
     )
-    orders = src.scan("orders", ["o_orderkey", "o_orderstatus"])
+    orders = src.scan("orders", ["o_orderkey", "o_orderstatus"],
+                      where=ex.eq("o_orderstatus", "F"))
     failed = orders.filter(orders["o_orderstatus"] == "F")
     li = li.join(failed, left_on="l_orderkey", right_on="o_orderkey",
                  how="semi")

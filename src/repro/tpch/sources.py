@@ -20,30 +20,46 @@ from ..vdt.vdt import VDT
 
 
 class CleanSource:
-    """No-updates run: stable images only."""
+    """No-updates run: stable images only.
+
+    ``where`` hints are ignored: the queries re-apply their full
+    predicates centrally, so skipping push-down only costs time, never
+    correctness.
+    """
 
     def __init__(self, db: Database, timer: ScanTimer | None = None):
         self.db = db
         self.timer = timer
 
-    def scan(self, table: str, columns=None) -> Relation:
+    def scan(self, table: str, columns=None, where=None) -> Relation:
         return scan_clean(self.db.table(table), columns=columns,
                           timer=self.timer)
 
 
 class PdtSource:
-    """PDT run: positional MergeScan through Read/Write layers."""
+    """PDT run: positional MergeScan through Read/Write layers.
+
+    ``where`` hints route through :meth:`Database.query`'s push-down
+    path: the shard router prunes shards whose sort-key ranges cannot
+    satisfy the predicate, and each surviving shard's scan filters rows
+    before they are materialized.
+    """
 
     def __init__(self, db: Database, timer: ScanTimer | None = None):
         self.db = db
         self.timer = timer
 
-    def scan(self, table: str, columns=None) -> Relation:
-        return self.db.query(table, columns=columns, timer=self.timer)
+    def scan(self, table: str, columns=None, where=None) -> Relation:
+        return self.db.query(table, columns=columns, timer=self.timer,
+                             where=where)
 
 
 class VdtSource:
-    """VDT run: value-based MergeScan for tables that have deltas."""
+    """VDT run: value-based MergeScan for tables that have deltas.
+
+    ``where`` hints are ignored (the VDT merge path has no push-down);
+    queries re-filter centrally, so results stay identical across modes.
+    """
 
     def __init__(self, db: Database, vdts: dict[str, VDT],
                  timer: ScanTimer | None = None):
@@ -51,7 +67,7 @@ class VdtSource:
         self.vdts = vdts
         self.timer = timer
 
-    def scan(self, table: str, columns=None) -> Relation:
+    def scan(self, table: str, columns=None, where=None) -> Relation:
         vdt = self.vdts.get(table)
         if vdt is None or vdt.is_empty():
             return scan_clean(self.db.table(table), columns=columns,
